@@ -1,0 +1,19 @@
+"""Benchmark-suite helpers: every figure bench saves its table to
+``benchmarks/results/`` and prints it, so `pytest benchmarks/
+--benchmark-only` regenerates the paper's evaluation artifacts."""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_table(name: str, text: str) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as f:
+        f.write(text + "\n")
+    print()
+    print(text)
+    print(f"[saved to {path}]")

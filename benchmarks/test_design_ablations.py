@@ -1,0 +1,154 @@
+"""Design-choice ablations called out in DESIGN.md §5.
+
+These go beyond the paper's figures and probe the knobs its design fixes:
+
+* fluid vs all-at-once migration (the Fig. 1b/1c contrast),
+* Stop-Checkpoint-Restart as the mainstream-SPE reference point (§I),
+* the Record Scheduling buffer size (the paper fixes 200 items),
+* the subscale count (C1's division granularity),
+* greedy "fewest held keys" vs FIFO subscale scheduling.
+"""
+
+import os
+import sys
+
+from conftest import save_table
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tests"))
+from helpers import build_keyed_job, drive  # noqa: E402
+
+from repro.core.drrs import DRRSConfig, DRRSController
+from repro.experiments.report import format_table
+from repro.scaling import OTFSController, StopRestartController
+
+
+def scaled_run(make_controller, agg_service=0.0015, state=4e6,
+               new_parallelism=6, until=60.0):
+    job = build_keyed_job(num_key_groups=32, agg_parallelism=4,
+                          agg_service=agg_service,
+                          state_bytes_per_group=state)
+    drive(job, until=until - 10.0, record_gap=0.004, keys=64, count=2)
+    job.run(until=8.0)
+    controller = make_controller(job)
+    done = controller.request_rescale("agg", new_parallelism)
+    job.run(until=until)
+    assert done.triggered
+    stats = job.metrics.latency_stats(8.0, until)
+    return {
+        "peak_latency": stats["peak"],
+        "mean_latency": stats["mean"],
+        "migration_duration": controller.metrics.duration,
+        "total_suspension": controller.metrics.total_suspension(),
+        "avg_dependency": controller.metrics.average_dependency_overhead(),
+    }
+
+
+def test_fluid_vs_all_at_once(benchmark):
+    def run():
+        return {
+            "fluid": scaled_run(lambda j: OTFSController(
+                j, migration="fluid")),
+            "all_at_once": scaled_run(lambda j: OTFSController(
+                j, migration="all_at_once")),
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [{"migration": k, **v} for k, v in out.items()]
+    save_table("ablation_fluid_vs_batch", format_table(
+        rows, title="Fluid vs all-at-once migration (generalized OTFS)"))
+    # Fluid migration resumes per key-group: suspension no worse than batch.
+    assert (out["fluid"]["total_suspension"]
+            <= out["all_at_once"]["total_suspension"] * 1.10)
+
+
+def test_stop_restart_vs_on_the_fly(benchmark):
+    def run():
+        return {
+            "stop_restart": scaled_run(lambda j: StopRestartController(j)),
+            "otfs_fluid": scaled_run(lambda j: OTFSController(j)),
+            "drrs": scaled_run(lambda j: DRRSController(j)),
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [{"mechanism": k, **v} for k, v in out.items()]
+    save_table("ablation_stop_restart", format_table(
+        rows, title="Stop-Checkpoint-Restart vs on-the-fly scaling"))
+    # The global halt must hurt peak latency more than any on-the-fly run.
+    assert (out["stop_restart"]["peak_latency"]
+            >= out["drrs"]["peak_latency"])
+    assert (out["stop_restart"]["total_suspension"]
+            > out["otfs_fluid"]["total_suspension"])
+
+
+def test_schedule_buffer_size_sweep(benchmark):
+    sizes = [10, 50, 200, 1000]
+
+    def run():
+        rows = []
+        for size in sizes:
+            result = scaled_run(lambda j, s=size: DRRSController(
+                j, DRRSConfig(schedule_buffer=s)))
+            rows.append({"buffer": size, **result})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("ablation_schedule_buffer", format_table(
+        rows, title="Record Scheduling buffer size (paper fixes 200)"))
+    by_size = {r["buffer"]: r for r in rows}
+    # A larger buffer never increases suspension (more swap candidates).
+    assert (by_size[1000]["total_suspension"]
+            <= by_size[10]["total_suspension"] * 1.10)
+
+
+def test_subscale_count_sweep(benchmark):
+    counts = [1, 4, 16, 64]
+
+    def run():
+        rows = []
+        for n in counts:
+            result = scaled_run(lambda j, n=n: DRRSController(
+                j, DRRSConfig(num_subscales=n)))
+            rows.append({"num_subscales": n, **result})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("ablation_subscale_count", format_table(
+        rows, title="Subscale Division granularity"))
+    for r in rows:
+        assert r["migration_duration"] is not None
+
+
+def test_greedy_vs_fifo_subscale_scheduling(benchmark):
+    def first_arrival_span(strategy):
+        job = build_keyed_job(num_key_groups=32, agg_parallelism=4,
+                              agg_service=0.0015,
+                              state_bytes_per_group=4e6)
+        drive(job, until=40.0, record_gap=0.004, keys=64, count=2)
+        job.run(until=8.0)
+        controller = DRRSController(job, DRRSConfig(
+            subscale_strategy=strategy, num_subscales=16))
+        done = controller.request_rescale("agg", 6)
+        job.run(until=60.0)
+        assert done.triggered
+        m = controller.metrics
+        # Per new instance: when its first key-group finished migrating.
+        firsts = {}
+        plan_target = job.assignments["agg"]
+        for kg, t in m.migration_completed.items():
+            dst = plan_target.owner(kg)
+            if dst >= 4:  # new instances
+                firsts[dst] = min(firsts.get(dst, float("inf")), t)
+        return max(firsts.values()) - m.started_at
+
+    def run():
+        return {"greedy": first_arrival_span("greedy"),
+                "fifo": first_arrival_span("fifo")}
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("ablation_greedy_vs_fifo", format_table(
+        [{"strategy": k, "last_new_instance_first_state_s": v}
+         for k, v in out.items()],
+        title="Greedy (fewest held keys) vs FIFO subscale scheduling: "
+              "time until every new instance holds state"))
+    # Greedy brings the last new instance into play no later than FIFO.
+    assert out["greedy"] <= out["fifo"] * 1.25

@@ -1,0 +1,37 @@
+"""Fig. 12 — cumulative propagation delay & average dependency overhead.
+
+Paper: Megaphone's repeated synchronizations give it by far the largest
+cumulative propagation delay and dependency overhead (scaling up to 7.24×
+longer than DRRS on Q7); Meces's single synchronization gives it the lowest
+propagation overhead; DRRS's decoupled signals keep both small.
+"""
+
+from conftest import save_table
+
+from repro.experiments import QUICK, run_fig12_propagation_dependency
+from repro.experiments.report import format_fig12
+
+
+def test_fig12_propagation_dependency(benchmark):
+    out = benchmark.pedantic(run_fig12_propagation_dependency,
+                             args=(QUICK,), rounds=1, iterations=1)
+    save_table("fig12_propagation_dependency", format_fig12(out))
+
+    by_key = {(r["workload"], r["system"]): r for r in out["rows"]}
+    for workload in ("q7", "q8", "twitch"):
+        mega = by_key[(workload, "megaphone")]
+        meces = by_key[(workload, "meces")]
+        drrs = by_key[(workload, "drrs")]
+        # Megaphone: largest propagation AND dependency.
+        assert (mega["cumulative_propagation_delay"]
+                > drrs["cumulative_propagation_delay"])
+        assert (mega["cumulative_propagation_delay"]
+                > meces["cumulative_propagation_delay"])
+        assert (mega["avg_dependency_overhead"]
+                > drrs["avg_dependency_overhead"])
+        # Meces: lowest propagation (single synchronization).
+        assert (meces["cumulative_propagation_delay"]
+                <= drrs["cumulative_propagation_delay"])
+        # DRRS: smallest dependency overhead (subscale division).
+        assert (drrs["avg_dependency_overhead"]
+                <= meces["avg_dependency_overhead"])

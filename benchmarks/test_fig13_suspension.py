@@ -1,0 +1,32 @@
+"""Fig. 13 — cumulative suspension time (§V-B).
+
+Paper: Meces's fetch-on-demand conflicts give it by far the highest
+cumulative suspension time; Megaphone's timestamp-driven migration grows
+suspension slowly; DRRS's Record Scheduling keeps suspension lowest on the
+heavy queries.
+"""
+
+from conftest import save_table
+
+from repro.experiments import QUICK, run_fig13_suspension
+from repro.experiments.report import format_fig13
+
+
+def test_fig13_suspension(benchmark):
+    out = benchmark.pedantic(run_fig13_suspension, args=(QUICK,),
+                             rounds=1, iterations=1)
+    save_table("fig13_suspension", format_fig13(out))
+
+    by_key = {(r["workload"], r["system"]): r for r in out["rows"]}
+    for workload in ("q7", "q8"):
+        drrs = by_key[(workload, "drrs")]["total_suspension"]
+        meces = by_key[(workload, "meces")]["total_suspension"]
+        mega = by_key[(workload, "megaphone")]["total_suspension"]
+        assert meces > drrs, f"{workload}: Meces must suspend most"
+        assert mega > drrs, f"{workload}: DRRS must suspend least"
+
+    # Suspension series are cumulative (monotone non-decreasing).
+    for workload, per_system in out["series"].items():
+        for system, series in per_system.items():
+            values = [v for _t, v in series]
+            assert values == sorted(values), f"{workload}/{system}"

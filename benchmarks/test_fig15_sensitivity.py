@@ -1,0 +1,50 @@
+"""Fig. 15 — sensitivity analysis on the heterogeneous cluster (§V-D).
+
+Paper: throughput deviation over ⟨input rate, state size, skewness⟩ with
+25→30 instances and 256 key-groups on the 4-node Swarm cluster.  Expected
+shape: progressive degradation with rate/state/skew; DRRS consistently
+best, up to 89 % higher throughput than the baselines at ⟨20 K tps, 30 GB⟩;
+Megaphone shows the paper's anomaly — migrations that do not finish inside
+the measurement window leave the untouched instances running, masking the
+deviation.
+
+The quick grid covers the corners (2 rates × 2 sizes × 2 skews); pass
+``PAPER`` and ``SENSITIVITY_GRID_PAPER`` for the full 4×4×4 sweep.
+"""
+
+from conftest import save_table
+
+from repro.experiments import QUICK, run_fig15_sensitivity
+from repro.experiments.report import format_fig15
+
+
+def test_fig15_sensitivity(benchmark):
+    out = benchmark.pedantic(run_fig15_sensitivity, args=(QUICK,),
+                             rounds=1, iterations=1)
+    save_table("fig15_sensitivity", format_fig15(out))
+
+    cell = {(r["system"], r["rate"], r["state_bytes"], r["skew"]):
+            r["throughput_deviation_pct"] for r in out["rows"]}
+    rates = sorted({r["rate"] for r in out["rows"]})
+    sizes = sorted({r["state_bytes"] for r in out["rows"]})
+    lo_rate, hi_rate = rates[0], rates[-1]
+    lo_size, hi_size = sizes[0], sizes[-1]
+
+    # Heaviest uniform-skew cell: DRRS clearly ahead of Meces (the paper's
+    # "up to 89% higher throughput" cell).
+    drrs = cell[("drrs", hi_rate, hi_size, 0.0)]
+    meces = cell[("meces", hi_rate, hi_size, 0.0)]
+    assert drrs < meces
+    assert drrs <= 10.0, "DRRS keeps deviation small at the heaviest cell"
+
+    # Progressive degradation with state size for the fetch-on-demand
+    # baseline at low rate.
+    assert (cell[("meces", lo_rate, hi_size, 0.0)]
+            >= cell[("meces", lo_rate, lo_size, 0.0)])
+
+    # High skew saturates a single key regardless of mechanism: every
+    # system degrades (the paper's rightmost panel turning yellow).
+    hi_skew = max(r["skew"] for r in out["rows"])
+    if hi_skew >= 1.0:
+        for system in ("drrs", "megaphone", "meces"):
+            assert cell[(system, hi_rate, lo_size, hi_skew)] > 25.0

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Fault-tolerance compatibility (§IV-C): checkpointing across a rescale.
+
+Runs a keyed pipeline with a periodic aligned-checkpoint coordinator, then
+rescales with DRRS while checkpoints keep flowing.  Shows that checkpoints
+complete before, during and after the scaling operation, and that the job's
+results stay correct.
+
+Run:  python examples/checkpoint_compatible_scaling.py
+"""
+
+from repro import DRRSController, JobGraph, StreamJob
+from repro.engine import (CheckpointCoordinator, KeyedReduceLogic,
+                          LatencyMarker, OperatorSpec, Partitioning, Record)
+
+
+def main():
+    graph = JobGraph("ckpt-demo", num_key_groups=16)
+    graph.add_source("source", parallelism=2)
+    graph.add_operator(OperatorSpec(
+        "agg",
+        logic_factory=lambda: KeyedReduceLogic(
+            lambda old, r: (old or 0) + r.count),
+        parallelism=2, service_time=5e-4, keyed=True,
+        initial_state_bytes_per_group=4e6))
+    graph.add_sink("sink")
+    graph.connect("source", "agg", Partitioning.HASH)
+    graph.connect("agg", "sink", Partitioning.FORWARD)
+    job = StreamJob(graph).build()
+
+    def generator():
+        sources = job.sources()
+        tick = 0
+        while job.sim.now < 55.0:
+            for source in sources:
+                source.offer(Record(key=f"k{tick % 40}",
+                                    event_time=job.sim.now, count=3))
+            if tick % 20 == 0:
+                sources[0].offer(LatencyMarker(key=f"k{tick % 40}"))
+            tick += 1
+            yield job.sim.timeout(0.005)
+
+    job.sim.spawn(generator())
+
+    checkpoints = CheckpointCoordinator(job, interval=5.0)
+    checkpoints.start()
+
+    job.run(until=18.0)
+    snaps_before = len(job.snapshots)
+    print(f"checkpoints completed before scaling: "
+          f"{len(checkpoints.completed)} (snapshots: {snaps_before})")
+
+    controller = DRRSController(job)
+    done = controller.request_rescale("agg", 4)
+    job.run(until=60.0)
+    assert done.triggered
+
+    print(f"scaling finished in {controller.metrics.duration:.2f} s; "
+          f"checkpoints total: {len(checkpoints.completed)}")
+    snaps_after = len(job.snapshots)
+    print(f"instance snapshots recorded: {snaps_after} "
+          f"(+{snaps_after - snaps_before} during/after scaling)")
+    # Every periodic checkpoint triggered while scaling was in flight still
+    # completed on every instance of the scaled operator (the very last
+    # checkpoint may not have propagated before the simulation ended, so we
+    # report the newest fully-covered one).
+    agg_count = len(job.instances("agg"))
+    coverage = {}
+    for _t, name, cid in job.snapshots:
+        if name.startswith("agg"):
+            coverage.setdefault(cid, set()).add(name)
+    complete = [cid for cid, names in coverage.items()
+                if len(names) == agg_count]
+    print(f"newest checkpoint covering all {agg_count} aggregator "
+          f"instances: #{max(complete)} (of {len(checkpoints.completed)} "
+          f"triggered)")
+    total = job.metrics.total_source_output()
+    processed = job.sink_logic().records_in
+    print(f"records generated vs delivered: {total} vs {processed}")
+
+
+if __name__ == "__main__":
+    main()

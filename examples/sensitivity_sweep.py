@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Mini sensitivity sweep (§V-D): skew × state size on the 4-node cluster.
+
+Runs the 3-operator custom workload on the heterogeneous Swarm-cluster
+model, rescaling 25 → 30 instances while sweeping Zipf skew and state size,
+and prints the throughput-deviation grid (a small slice of Fig. 15).
+
+Run:  python examples/sensitivity_sweep.py
+"""
+
+from repro.experiments import QUICK
+from repro.experiments.figures import _sensitivity_cell
+from repro.experiments.report import format_table
+
+
+def main():
+    rows = []
+    rate = 10_000.0
+    print(f"sweeping skew x state size at {rate:.0f} records/s "
+          "(25 -> 30 instances, 256 key-groups)...")
+    for skew in (0.0, 0.5, 1.0):
+        for state in (5e9, 20e9):
+            for system in ("drrs", "meces"):
+                cell = _sensitivity_cell(QUICK, system, rate, state, skew)
+                rows.append(cell)
+                print(f"  skew={skew} state={state / 1e9:.0f}GB "
+                      f"{system}: deviation "
+                      f"{cell['throughput_deviation_pct']:.1f}%")
+    print()
+    print(format_table(
+        rows,
+        columns=["system", "skew", "state_bytes", "rate",
+                 "throughput_deviation_pct", "measured_rate"],
+        title="Throughput deviation under rescaling "
+              "(lower is better; slice of Fig. 15)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro — reproduction of "Towards Fine-Grained Scalability for Stateful
+Stream Processing Systems" (DRRS, ICDE 2025) on a simulated streaming engine.
+
+Public API tour
+---------------
+* :mod:`repro.simulation` — deterministic discrete-event kernel.
+* :mod:`repro.engine` — the Flink-like streaming engine substrate: job
+  graphs, operator instances, credit-based channels, key-group state,
+  watermarks, checkpoints, metrics.
+* :mod:`repro.scaling` — the scaling framework and baseline mechanisms
+  (generalized OTFS, Megaphone-style, Meces-style, Unbound,
+  Stop-Checkpoint-Restart).
+* :mod:`repro.core` — DRRS itself (Decoupling and Re-routing, Record
+  Scheduling, Subscale Division) and its ablation variants.
+* :mod:`repro.workloads` — NEXMark Q7/Q8, the synthetic Twitch pipeline and
+  the configurable sensitivity workload.
+* :mod:`repro.experiments` — the warm-up → scale → stabilize harness and
+  one runner per figure of the paper's evaluation.
+"""
+
+from .core.drrs import DRRSConfig, DRRSController, make_variant
+from .engine.graph import JobGraph, OperatorSpec
+from .engine.runtime import JobConfig, StreamJob
+from .scaling.megaphone import MegaphoneController
+from .scaling.meces import MecesController
+from .scaling.otfs import OTFSController
+from .scaling.stop_restart import StopRestartController
+from .scaling.unbound import UnboundController
+from .simulation.kernel import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DRRSConfig",
+    "DRRSController",
+    "make_variant",
+    "JobGraph",
+    "OperatorSpec",
+    "JobConfig",
+    "StreamJob",
+    "MegaphoneController",
+    "MecesController",
+    "OTFSController",
+    "StopRestartController",
+    "UnboundController",
+    "Simulator",
+    "__version__",
+]

@@ -1,0 +1,171 @@
+"""Command-line interface: regenerate any figure or inspect workloads.
+
+Examples::
+
+    python -m repro list
+    python -m repro figure fig10 --scale quick
+    python -m repro figure fig15 --scale paper
+    python -m repro run q7 --system drrs --new-parallelism 12
+    python -m repro workload twitch --until 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from .experiments import (PAPER, QUICK, format_fig02, format_fig10,
+                          format_fig12, format_fig13, format_fig14,
+                          format_fig15, format_table,
+                          run_fig02_unbound_probe, run_fig10_latency,
+                          run_fig11_throughput,
+                          run_fig12_propagation_dependency,
+                          run_fig13_suspension, run_fig14_ablation,
+                          run_fig15_sensitivity)
+from .experiments.figures import _run_one
+from .experiments.report import format_table as _format_table
+from .experiments.scenarios import make_workload
+
+__all__ = ["main", "FIGURES"]
+
+
+def _fig11_text(out) -> str:
+    return format_table(
+        out["recovery"],
+        title="Fig. 11 — source throughput around the scaling operation "
+              "(records/s)")
+
+
+#: figure name → (runner, formatter)
+FIGURES: Dict[str, tuple] = {
+    "fig02": (run_fig02_unbound_probe, format_fig02),
+    "fig10": (run_fig10_latency, format_fig10),
+    "fig11": (run_fig11_throughput, _fig11_text),
+    "fig12": (run_fig12_propagation_dependency, format_fig12),
+    "fig13": (run_fig13_suspension, format_fig13),
+    "fig14": (run_fig14_ablation, format_fig14),
+    "fig15": (run_fig15_sensitivity, format_fig15),
+}
+
+SYSTEMS = ("drrs", "megaphone", "meces", "otfs", "otfs-all-at-once",
+           "unbound", "stop-restart", "dr", "schedule", "subscale")
+WORKLOADS = ("q7", "q8", "twitch", "custom")
+
+
+def _scenario(name: str):
+    if name == "quick":
+        return QUICK
+    if name == "paper":
+        return PAPER
+    raise SystemExit(f"unknown scale {name!r}: use 'quick' or 'paper'")
+
+
+def _cmd_list(_args) -> int:
+    print("figures:   " + " ".join(sorted(FIGURES)))
+    print("workloads: " + " ".join(WORKLOADS))
+    print("systems:   " + " ".join(SYSTEMS))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    runner, formatter = FIGURES[args.name]
+    scenario = _scenario(args.scale)
+    out = runner(scenario)
+    text = formatter(out)
+    print(text)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text + "\n")
+        print(f"[saved to {args.output}]")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    scenario = _scenario(args.scale)
+    system = None if args.system == "no-scale" else args.system
+    result = _run_one(args.workload, system, scenario)
+    summary = result.summary()
+    rows = [{"metric": k, "value": v} for k, v in summary.items()]
+    print(_format_table(
+        rows, title=f"{args.workload} under {summary['controller']}"))
+    return 0
+
+
+def _cmd_workload(args) -> int:
+    workload = make_workload(args.name, _scenario(args.scale))
+    job = workload.build()
+    job.run(until=args.until)
+    if args.inspect:
+        from .engine.introspection import operator_rows
+        print(_format_table(operator_rows(job),
+                            title=f"{args.name} operators at "
+                                  f"t={args.until:.0f}s"))
+        print()
+    stats = job.metrics.latency_stats(args.until / 2, args.until)
+    rows = [
+        {"metric": "records generated",
+         "value": job.metrics.total_source_output()},
+        {"metric": "records delivered",
+         "value": job.metrics.total_sink_input()},
+        {"metric": "mean latency (s)", "value": stats["mean"]},
+        {"metric": "p99 latency (s)", "value": stats["p99"]},
+        {"metric": f"state of {workload.scaling_operator} (MB)",
+         "value": job.total_state_bytes(workload.scaling_operator) / 1e6},
+        {"metric": "kernel events", "value": job.sim.events_processed},
+    ]
+    print(_format_table(rows, title=f"{args.name} steady state after "
+                                    f"{args.until:.0f} simulated seconds"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DRRS reproduction: regenerate the paper's evaluation "
+                    "on the simulated streaming engine.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list figures, workloads and systems")
+
+    p_figure = sub.add_parser("figure", help="regenerate one figure")
+    p_figure.add_argument("name", choices=sorted(FIGURES))
+    p_figure.add_argument("--scale", default="quick",
+                          choices=("quick", "paper"))
+    p_figure.add_argument("--output", help="also save the table here")
+
+    p_run = sub.add_parser("run",
+                           help="run one workload under one mechanism")
+    p_run.add_argument("workload", choices=WORKLOADS)
+    p_run.add_argument("--system", default="drrs",
+                       choices=SYSTEMS + ("no-scale",))
+    p_run.add_argument("--scale", default="quick",
+                       choices=("quick", "paper"))
+    p_run.add_argument("--new-parallelism", type=int, default=None,
+                       help="(informational; scenario controls it)")
+
+    p_workload = sub.add_parser("workload",
+                                help="run a workload without scaling")
+    p_workload.add_argument("name", choices=WORKLOADS)
+    p_workload.add_argument("--until", type=float, default=30.0)
+    p_workload.add_argument("--inspect", action="store_true",
+                            help="print per-operator load/queue/state rows")
+    p_workload.add_argument("--scale", default="quick",
+                            choices=("quick", "paper"))
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers: Dict[str, Callable] = {
+        "list": _cmd_list,
+        "figure": _cmd_figure,
+        "run": _cmd_run,
+        "workload": _cmd_workload,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""DRRS — the paper's primary contribution."""
+
+from .barriers import ConfirmBarrier, TriggerBarrier
+from .coordinator import ScaleCoordinator
+from .drrs import (CoupledSubscaleController, DRRSConfig, DRRSController,
+                   make_variant)
+from .executor import DRRSInputHandler, ScaleExecutor
+from .planner import Subscale, SubscalePlanner
+from .policy import (BacklogPolicy, ScalingPolicy, UserRequestPolicy,
+                     UtilizationPolicy)
+from .rerouting import ReRouteManager
+from .scheduling import scan_inter_channel, scan_intra_channel
+
+__all__ = [
+    "ConfirmBarrier",
+    "TriggerBarrier",
+    "ScaleCoordinator",
+    "CoupledSubscaleController",
+    "DRRSConfig",
+    "DRRSController",
+    "make_variant",
+    "DRRSInputHandler",
+    "ScaleExecutor",
+    "BacklogPolicy",
+    "ScalingPolicy",
+    "UserRequestPolicy",
+    "UtilizationPolicy",
+    "Subscale",
+    "SubscalePlanner",
+    "ReRouteManager",
+    "scan_inter_channel",
+    "scan_intra_channel",
+]

@@ -1,0 +1,241 @@
+"""DRRS: the paper's on-the-fly scaling method, and its ablation variants.
+
+:class:`DRRSController` wires the three mechanisms together:
+
+* Decoupling and Re-routing (§III-A) — decoupled trigger/confirm barriers
+  with predecessor injection and implicit alignment at the receiver;
+* Record Scheduling (§III-B) — inter-/intra-channel execution-order
+  adjustments within a bounded buffer;
+* Subscale Division (§III-C) — independent subscales scheduled greedily
+  under a per-node concurrency threshold.
+
+:func:`make_variant` builds the four systems of the Fig. 14 isolation test:
+``"drrs"`` (all three), ``"dr"`` (Decoupling and Re-routing only),
+``"schedule"`` (Record Scheduling on a conventional coupled-signal scaling),
+and ``"subscale"`` (Subscale Division driven by coupled signals, whose
+mutual synchronization interference the paper highlights).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..engine.runtime import StreamJob
+from ..engine.state import StateStatus
+from ..scaling.base import ScalingController
+from ..scaling.otfs import OTFSController
+from .coordinator import ScaleCoordinator
+from .planner import Subscale
+
+__all__ = ["DRRSConfig", "DRRSController", "CoupledSubscaleController",
+           "make_variant"]
+
+
+@dataclass
+class DRRSConfig:
+    """Per-mechanism toggles and tunables (defaults = the paper's)."""
+
+    #: Decoupled trigger/confirm signals with re-routing.  Turning this off
+    #: is not supported inside DRRSController — use make_variant() for the
+    #: coupled-signal ablations instead.
+    decouple_reroute: bool = True
+    #: Record Scheduling (inter-channel switching; see ``intra_channel``).
+    record_scheduling: bool = True
+    #: Intra-channel bypassing (only effective with record_scheduling).
+    intra_channel: bool = True
+    #: Subscale Division; when False the scale runs as one undivided
+    #: subscale per migration path.
+    subscale_division: bool = True
+    #: Target number of subscales for the lexicographic division (C1).
+    num_subscales: int = 16
+    #: Per-node concurrent-subscale threshold (§IV-A).
+    max_concurrent_per_node: int = 2
+    #: Subscale scheduling strategy: "greedy" (paper default: fewest held
+    #: keys first) or "fifo" (lexicographic order).
+    subscale_strategy: str = "greedy"
+    #: Bounded pre-serialization buffer for Record Scheduling (items).
+    schedule_buffer: int = 200
+    #: Re-route Manager flush strategy (B4).
+    reroute_flush_capacity: int = 16
+    reroute_flush_timeout: float = 0.002
+
+
+class DRRSController(ScalingController):
+    """DRRS on-the-fly rescaling (Decoupling/Re-routing + Scheduling +
+    Subscale Division)."""
+
+    name = "drrs"
+
+    def __init__(self, job: StreamJob, config: Optional[DRRSConfig] = None,
+                 control_latency: float = 0.002):
+        super().__init__(job, control_latency=control_latency)
+        self.config = config or DRRSConfig()
+        if not self.config.decouple_reroute:
+            raise ValueError(
+                "DRRSController requires decouple_reroute; use "
+                "make_variant() for coupled-signal ablations")
+        self._op_name: Optional[str] = None
+        self._plan = None
+        self._executors: Dict[int, object] = {}
+        self._completion_signal = None
+        self.cancelled = False
+
+    # -- concurrent executions (§IV-B) ----------------------------------------------
+
+    def request_rescale(self, op_name: str, new_parallelism: int):
+        """Start (or supersede) a rescale of ``op_name``.
+
+        If a scaling operation is already in flight for this controller,
+        it is terminated (§IV-B case 1): no further subscales launch, the
+        ones already running complete, the partial result is committed,
+        and the new request then plans from the partially migrated state —
+        avoiding redundant data migrations.
+        """
+        if not self.active:
+            return super().request_rescale(op_name, new_parallelism)
+        previous_done = self._current_done
+        self.cancel()
+        done = self.sim.event()
+
+        def chain():
+            yield previous_done
+            inner = super(DRRSController, self).request_rescale(
+                op_name, new_parallelism)
+            result = yield inner
+            done.succeed(result)
+
+        self.sim.spawn(chain(), name=f"supersede:{op_name}")
+        return done
+
+    def cancel(self) -> None:
+        """Terminate the in-flight scaling operation after the subscales
+        already launched have completed."""
+        if self.active:
+            self.cancelled = True
+            if self._completion_signal is not None:
+                self._completion_signal.fire()
+
+    # -- ScalingController hooks ---------------------------------------------------
+
+    def _execute(self, op_name, plan, scale_id):
+        self.cancelled = False
+        self._op_name = op_name
+        self._plan = plan
+        coordinator = ScaleCoordinator(self)
+        yield from coordinator.execute(op_name, plan, scale_id)
+
+    def scaling_instances(self):
+        return self.job.instances(self._op_name)
+
+    # -- migration (driven by trigger barriers via the executors) ---------------------
+
+    def start_subscale_migration(self, subscale: Subscale) -> None:
+        self.sim.spawn(self._migrate_subscale(subscale),
+                       name=f"drrs-subscale-{subscale.subscale_id}")
+
+    def _migrate_subscale(self, subscale: Subscale):
+        instances = self.scaling_instances()
+        src = instances[subscale.src_index]
+        dst = instances[subscale.dst_index]
+        for kg in subscale.key_groups:
+            yield from self._transfer_group(
+                src, dst, kg, arrival_status=StateStatus.INACTIVE)
+            group = dst.state.group(kg)
+            if subscale.aligned and group.status is StateStatus.INACTIVE:
+                group.status = StateStatus.LOCAL
+            subscale.migrated_groups.add(kg)
+            dst.wake.fire()
+            self.on_subscale_progress(subscale)
+
+    def on_subscale_progress(self, subscale: Subscale) -> None:
+        if subscale.done and subscale.completed_at is None:
+            subscale.completed_at = self.sim.now
+            if self._completion_signal is not None:
+                self._completion_signal.fire()
+
+
+class CoupledSubscaleController(OTFSController):
+    """Subscale Division *without* decoupled signals (Fig. 14 "Subscale").
+
+    The move set is divided as DRRS would, but each subscale synchronizes
+    with a conventional coupled barrier.  All subscale barriers are injected
+    back-to-back, so their alignments interfere (Fig. 7a): a blocked channel
+    from subscale *i*'s alignment delays subscale *i+1*'s barrier — the
+    source of the large fluctuations the paper reports for this variant.
+    """
+
+    name = "subscale_only"
+
+    def __init__(self, job, num_subscales: int = 16,
+                 scheduling: bool = False,
+                 control_latency: float = 0.002):
+        super().__init__(job, migration="fluid", injection="predecessor",
+                         scheduling=scheduling,
+                         control_latency=control_latency)
+        self.num_subscales = num_subscales
+
+    def _execute(self, op_name, plan, scale_id):
+        import math
+
+        self._plan = plan
+        self._op_name = op_name
+        self._route_set = self._upstream_closure(op_name) | {op_name}
+        self.job.signal_router = self._on_signal
+
+        new_instances = yield from self._provision(op_name, plan)
+        instances = self.job.instances(op_name)
+        scaling_instances = (instances[:plan.old_parallelism]
+                             + new_instances)
+        self._attach_suspension_probes(scaling_instances)
+        saved = self._install_handlers(scaling_instances,
+                                       scheduling=self.scheduling)
+
+        groups = plan.migrating_groups
+        chunk = max(1, math.ceil(len(groups) / self.num_subscales))
+        batches = [groups[i:i + chunk]
+                   for i in range(0, len(groups), chunk)]
+
+        self._remaining = set(groups)
+        self._complete = self.sim.event()
+        for phase, batch in enumerate(batches):
+            routing = {}
+            for kg in batch:
+                move = plan.move_for(kg)
+                routing[kg] = move.dst_index
+                instances[move.src_index].state.require_group(
+                    kg).status = StateStatus.PENDING_OUT
+                instances[move.dst_index].state.register_group(
+                    kg, StateStatus.INCOMING)
+            self._aligned_old = set()
+            # Back-to-back injection: no waiting between subscales.
+            yield from self._inject_phase(op_name, plan, scale_id,
+                                          phase=phase, routing=routing)
+        if self._remaining:
+            yield self._complete
+        self._restore_handlers(saved)
+        self._detach_suspension_probes(scaling_instances)
+        self._finalize_assignment(op_name, plan)
+
+
+def make_variant(job: StreamJob, variant: str = "drrs",
+                 num_subscales: int = 16,
+                 control_latency: float = 0.002) -> ScalingController:
+    """The four systems of the design-rationale isolation test (Fig. 14)."""
+    if variant == "drrs":
+        return DRRSController(job, DRRSConfig(num_subscales=num_subscales),
+                              control_latency=control_latency)
+    if variant == "dr":
+        return DRRSController(
+            job,
+            DRRSConfig(record_scheduling=False, intra_channel=False,
+                       subscale_division=False),
+            control_latency=control_latency)
+    if variant == "schedule":
+        return OTFSController(job, migration="fluid",
+                              injection="predecessor", scheduling=True,
+                              control_latency=control_latency)
+    if variant == "subscale":
+        return CoupledSubscaleController(job, num_subscales=num_subscales,
+                                         control_latency=control_latency)
+    raise ValueError(f"unknown DRRS variant: {variant!r}")

@@ -1,0 +1,357 @@
+"""Scale Executor (B): per-instance scaling machinery (§IV-A).
+
+One :class:`ScaleExecutor` runs on every scaling-operator instance and hosts
+the paper's worker-side modules:
+
+* **Scale Input Handler (B1)** — :class:`DRRSInputHandler` replaces the
+  native input handler and classifies every incoming element: barriers go to
+  the Barrier Handler, processable records to the native path, temporarily
+  unprocessable records to the Suspend Manager, migrated-out records to the
+  Re-route Manager.
+* **Barrier Handler (B2)** — trigger barriers start the subscale's state
+  migration (first one wins, duplicates ignored); confirm barriers are
+  re-routed to the migration target.
+* **Suspend Manager (B3)** — suspension happens only when *all* swappable
+  records are unprocessable (delegated to the Record Scheduling scans).
+* **Re-route Manager (B4)** — order-preserving forwarding of migrated-out
+  records and confirm barriers (see :mod:`repro.core.rerouting`).
+
+An instance may simultaneously be the *source* of some subscales and the
+*destination* of others (uniform repartitioning moves key-groups between old
+instances too); the executor tracks both directions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, TYPE_CHECKING
+
+from ..engine.channels import InputChannel
+from ..engine.operators import InputHandler, OperatorInstance
+from ..engine.records import LatencyMarker, Record, StreamElement
+from ..engine.state import StateStatus
+from .barriers import ConfirmBarrier, TriggerBarrier
+from .planner import Subscale
+from .rerouting import ReRouteManager
+from .scheduling import scan_intra_channel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .drrs import DRRSController
+
+__all__ = ["ScaleExecutor", "DRRSInputHandler", "READY", "INTERNAL", "BLOCKED"]
+
+READY = "ready"
+INTERNAL = "internal"
+BLOCKED = "blocked"
+
+
+class ScaleExecutor:
+    """Worker-side scaling state for one scaling-operator instance."""
+
+    def __init__(self, controller: "DRRSController",
+                 instance: OperatorInstance):
+        self.controller = controller
+        self.instance = instance
+        self.out_subscales: Dict[int, Subscale] = {}
+        self.in_subscales: Dict[int, Subscale] = {}
+        self.kg_out: Dict[int, Subscale] = {}
+        self.kg_in: Dict[int, Subscale] = {}
+        self.reroute_managers: Dict[int, ReRouteManager] = {}
+        self._triggered: Set[int] = set()
+
+    # -- coordinator notifications ------------------------------------------------
+
+    def register_out(self, subscale: Subscale) -> None:
+        """This instance is the migration source of ``subscale``."""
+        self.out_subscales[subscale.subscale_id] = subscale
+        for kg in subscale.key_groups:
+            self.kg_out[kg] = subscale
+
+    def expect_subscale(self, subscale: Subscale) -> None:
+        """This instance is the migration target of ``subscale``."""
+        self.in_subscales[subscale.subscale_id] = subscale
+        for kg in subscale.key_groups:
+            self.kg_in[kg] = subscale
+            if self.instance.state.group(kg) is None:
+                self.instance.state.register_group(kg, StateStatus.INCOMING)
+        self.instance.wake.fire()
+
+    def shutdown(self) -> None:
+        for manager in self.reroute_managers.values():
+            manager.close()
+
+    # -- Barrier Handler (B2) -----------------------------------------------------
+
+    def on_control(self, channel: Optional[InputChannel],
+                   element: StreamElement) -> None:
+        """Control-lane delivery: trigger barriers bypass all caches."""
+        if isinstance(element, TriggerBarrier):
+            self.on_trigger(element)
+
+    def on_trigger(self, barrier: TriggerBarrier) -> None:
+        if barrier.subscale_id in self._triggered:
+            return  # duplicates from other predecessors are ignored
+        self._triggered.add(barrier.subscale_id)
+        subscale = self.out_subscales.get(barrier.subscale_id)
+        if subscale is None:
+            return
+        for kg in subscale.key_groups:
+            group = self.instance.state.group(kg)
+            if group is not None and group.status is StateStatus.LOCAL:
+                group.status = StateStatus.PENDING_OUT
+        self.controller.start_subscale_migration(subscale)
+
+    def on_confirm(self, barrier: ConfirmBarrier) -> None:
+        """In-band confirm barrier at the source: re-route it (B4)."""
+        subscale = self.out_subscales.get(barrier.subscale_id)
+        if subscale is None:
+            return
+        self.reroute_manager_for(subscale).forward_barrier(barrier)
+
+    def on_rerouted_confirm(self, barrier: ConfirmBarrier) -> None:
+        """Re-routed confirm barrier consumed at the destination."""
+        subscale = self.in_subscales.get(barrier.subscale_id)
+        if subscale is None:
+            return
+        subscale.arrived_predecessors.add(barrier.predecessor_id)
+        if subscale.aligned:
+            self.activate_subscale(subscale)
+        self.controller.on_subscale_progress(subscale)
+        self.instance.wake.fire()
+
+    def activate_subscale(self, subscale: Subscale) -> None:
+        """Implicit alignment achieved: inactive states become active."""
+        for kg in subscale.key_groups:
+            group = self.instance.state.group(kg)
+            if group is not None and group.status is StateStatus.INACTIVE:
+                group.status = StateStatus.LOCAL
+
+    # -- Re-route Manager (B4) ------------------------------------------------------
+
+    def reroute_manager_for(self, subscale: Subscale) -> ReRouteManager:
+        dst = self.controller.scaling_instances()[subscale.dst_index]
+        key = id(dst)
+        manager = self.reroute_managers.get(key)
+        if manager is None:
+            channel = self.controller.job.create_direct_channel(
+                self.instance, dst, name_suffix="reroute")
+            config = self.controller.config
+            manager = ReRouteManager(
+                self.instance.sim, channel,
+                flush_capacity=config.reroute_flush_capacity,
+                flush_timeout=config.reroute_flush_timeout)
+            self.reroute_managers[key] = manager
+        return manager
+
+    def reroute_record(self, element: StreamElement) -> None:
+        subscale = self.kg_out[element.key_group]
+        self.reroute_manager_for(subscale).forward_record(element)
+        count = element.count if isinstance(element, Record) else 1
+        self.controller.metrics.note_reroute(count)
+
+    # -- element classification (the heart of B1) -------------------------------------
+
+    def classify(self, channel: Optional[InputChannel],
+                 element: StreamElement) -> str:
+        """READY to process, INTERNAL to consume here, or BLOCKED."""
+        if isinstance(element, ConfirmBarrier):
+            return INTERNAL
+        key_group = getattr(element, "key_group", None)
+        if key_group is None:
+            return READY  # watermarks, checkpoint barriers, EOS, ...
+        out_sub = self.kg_out.get(key_group)
+        if out_sub is not None:
+            group = self.instance.state.group(key_group)
+            if group is None or group.status is StateStatus.MIGRATED_OUT:
+                return INTERNAL  # state left: re-route (Fig. 4c)
+            return READY  # LOCAL or PENDING_OUT: still processable (Fig. 4b)
+        in_sub = self.kg_in.get(key_group)
+        if in_sub is not None:
+            group = self.instance.state.group(key_group)
+            if group is None or group.status is StateStatus.INCOMING:
+                return BLOCKED  # bytes not here yet
+            if group.status is StateStatus.LOCAL:
+                return READY
+            # INACTIVE: bytes arrived, implicit alignment pending.
+            if self.controller.config.record_scheduling:
+                # Fluid confirmation: this channel alone must be confirmed.
+                sender = channel.channel.sender if (
+                    channel is not None and channel.channel is not None) \
+                    else None
+                if sender is not None and (
+                        id(sender) in in_sub.arrived_predecessors):
+                    return READY
+                return BLOCKED
+            return BLOCKED  # global implicit alignment required
+        return READY  # untouched key-group
+
+    def rerouted_ready(self, element: StreamElement) -> bool:
+        """Re-routed records need their state bytes, nothing more."""
+        key_group = getattr(element, "key_group", None)
+        if key_group is None:
+            return True
+        group = self.instance.state.group(key_group)
+        return group is not None and group.status in (
+            StateStatus.INACTIVE, StateStatus.LOCAL, StateStatus.PENDING_OUT)
+
+    def consume_internal(self, channel: Optional[InputChannel],
+                         element: StreamElement) -> None:
+        if isinstance(element, ConfirmBarrier):
+            self.on_confirm(element)
+        else:
+            self.reroute_record(element)
+
+
+class DRRSInputHandler(InputHandler):
+    """Scale Input Handler (B1): classification + Record Scheduling."""
+
+    def __init__(self, instance: OperatorInstance, executor: ScaleExecutor,
+                 inter_channel: bool, intra_channel: bool,
+                 buffer_size: int = 200):
+        super().__init__(instance)
+        self.executor = executor
+        self.inter_channel = inter_channel
+        self.intra_channel = intra_channel
+        self.buffer_size = buffer_size
+        self._cursor = 0
+        self._committed: Optional[InputChannel] = None
+
+    def _ready(self, channel, element) -> bool:
+        return self.executor.classify(channel, element) == READY
+
+    def poll(self):
+        executor = self.executor
+        channels = self.instance.input_channels
+        if not channels:
+            self.suspended = False
+            return None
+
+        # Phase 0 — priority lanes and internal consumption.
+        aux_blocked = False
+        progress = True
+        while progress:
+            progress = False
+            for channel in channels:
+                if not getattr(channel, "is_auxiliary", False):
+                    continue
+                while channel.queue:
+                    head = channel.peek()
+                    if isinstance(head, ConfirmBarrier) and head.rerouted:
+                        channel.pop()
+                        executor.on_rerouted_confirm(head)
+                        progress = True
+                        continue
+                    if isinstance(head, (Record, LatencyMarker)):
+                        if executor.rerouted_ready(head):
+                            # Re-routed records are special events: processed
+                            # immediately, unaffected by suspension (§III-A).
+                            return channel, channel.pop()
+                        aux_blocked = True
+                    break
+            for channel in channels:
+                if getattr(channel, "is_auxiliary", False) or channel.blocked:
+                    continue
+                while channel.queue:
+                    head = channel.peek()
+                    if executor.classify(channel, head) == INTERNAL:
+                        channel.pop()
+                        executor.consume_internal(channel, head)
+                        progress = True
+                    else:
+                        break
+
+        regular = [ch for ch in channels
+                   if not getattr(ch, "is_auxiliary", False)]
+
+        # Phase 1 — head selection.
+        if not self.inter_channel:
+            polled = self._poll_committed(regular)
+            if polled is not None:
+                return polled
+            self.suspended = self.suspended or aux_blocked
+            return None
+
+        channel, saw_unprocessable = self._scan_heads(regular)
+        if channel is not None:
+            return channel, channel.pop()
+
+        # Phase 2 — intra-channel scheduling within the bounded buffer.
+        if self.intra_channel and saw_unprocessable:
+            found = scan_intra_channel(
+                regular,
+                lambda e: self._ready_nochan(e),
+                self.buffer_size,
+                start=self._cursor % max(len(regular), 1))
+            if found is not None:
+                channel, element = found
+                channel.remove(element)
+                return channel, element
+
+        self.suspended = saw_unprocessable or aux_blocked
+        return None
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def _scan_heads(self, channels):
+        n = len(channels)
+        saw_unprocessable = False
+        for offset in range(n):
+            channel = channels[(self._cursor + offset) % n]
+            if channel.blocked:
+                if channel.queue:
+                    saw_unprocessable = True
+                continue
+            head = channel.peek()
+            if head is None:
+                continue
+            if self._ready(channel, head):
+                self._cursor = (self._cursor + offset + 1) % n
+                return channel, saw_unprocessable
+            saw_unprocessable = True
+        return None, saw_unprocessable
+
+    def _ready_nochan(self, element) -> bool:
+        # Intra-channel candidates: channel context only matters for the
+        # per-channel fluid-confirmation check, which uses the channel the
+        # element sits in; classify() via kg_in uses arrived_predecessors of
+        # the element's subscale.  For simplicity the intra-channel scan only
+        # accepts records that are ready *regardless* of channel (globally
+        # aligned or untouched/outgoing) — strictly safe.
+        return self.executor.classify(None, element) == READY
+
+    def _poll_committed(self, channels):
+        """No inter-channel scheduling: engine order with head commitment."""
+        if self._committed is not None:
+            channel = self._committed
+            head = channel.peek()
+            if head is None:
+                self._committed = None
+            elif self.executor.classify(channel, head) == INTERNAL:
+                # Internal items never block commitment.
+                channel.pop()
+                self.executor.consume_internal(channel, head)
+                self._committed = None
+            elif self._ready(channel, head):
+                self._committed = None
+                return channel, channel.pop()
+            else:
+                self.suspended = True
+                return None
+        n = len(channels)
+        saw_data = False
+        for offset in range(n):
+            channel = channels[(self._cursor + offset) % n]
+            if channel.blocked:
+                if channel.queue:
+                    saw_data = True
+                continue
+            head = channel.peek()
+            if head is None:
+                continue
+            self._cursor = (self._cursor + offset + 1) % n
+            if self._ready(channel, head):
+                return channel, channel.pop()
+            self._committed = channel
+            self.suspended = True
+            return None
+        self.suspended = saw_data
+        return None

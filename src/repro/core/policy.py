@@ -1,0 +1,219 @@
+"""Scaling-decision policies for the Scale Planner's Policy Generator (C0).
+
+The paper's default C0 is a user-request trigger (§IV-A) and treats
+decision-making as orthogonal, to be integrated later (§VII).  This module
+provides that integration point: pluggable trigger policies that watch the
+running job and invoke a :class:`ScalingController` when their condition
+holds.
+
+Shipped policies:
+
+* :class:`UserRequestPolicy` — the paper's default: fire exactly when told.
+* :class:`UtilizationPolicy` — rescale the operator when its mean busy
+  fraction stays above a threshold for a hold period (classic reactive
+  autoscaling, e.g. the DS2/Dhalion family the paper cites as orthogonal).
+* :class:`BacklogPolicy` — rescale when the per-instance input backlog
+  exceeds a bound (useful when service times are unknown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..engine.runtime import StreamJob
+from ..scaling.base import ScalingController
+
+__all__ = ["ScalingPolicy", "UserRequestPolicy", "UtilizationPolicy",
+           "BacklogPolicy"]
+
+
+class ScalingPolicy:
+    """Base: a simulation process that may request rescales."""
+
+    def __init__(self, job: StreamJob, controller: ScalingController,
+                 operator: str):
+        self.job = job
+        self.controller = controller
+        self.operator = operator
+        self.decisions: List[Tuple[float, int]] = []
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.job.sim.spawn(self._loop(), name=f"policy:{self.operator}")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _loop(self):
+        raise NotImplementedError
+
+    def _request(self, new_parallelism: int):
+        self.decisions.append((self.job.sim.now, new_parallelism))
+        return self.controller.request_rescale(self.operator,
+                                               new_parallelism)
+
+
+class UserRequestPolicy(ScalingPolicy):
+    """The paper's default C0: scale when (and only when) asked."""
+
+    def __init__(self, job, controller, operator,
+                 at: float, new_parallelism: int):
+        super().__init__(job, controller, operator)
+        self.at = at
+        self.new_parallelism = new_parallelism
+
+    def _loop(self):
+        delay = self.at - self.job.sim.now
+        if delay > 0:
+            yield self.job.sim.timeout(delay)
+        if self._running:
+            self._request(self.new_parallelism)
+
+
+@dataclass
+class _Window:
+    """Rolling mean over the last N samples."""
+
+    size: int
+    samples: List[float] = field(default_factory=list)
+
+    def push(self, value: float) -> None:
+        self.samples.append(value)
+        if len(self.samples) > self.size:
+            self.samples.pop(0)
+
+    @property
+    def full(self) -> bool:
+        return len(self.samples) >= self.size
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+
+class UtilizationPolicy(ScalingPolicy):
+    """Reactive scale-out on sustained high operator utilisation.
+
+    Utilisation is the mean busy fraction of the operator's instances over
+    the evaluation interval.  When the rolling mean over ``hold_samples``
+    intervals exceeds ``high_threshold``, parallelism is increased by
+    ``step`` (capped at ``max_parallelism``), sized so the post-scaling
+    utilisation lands near ``target``.
+    """
+
+    def __init__(self, job, controller, operator,
+                 high_threshold: float = 0.85,
+                 target: float = 0.6,
+                 interval: float = 5.0,
+                 hold_samples: int = 3,
+                 max_parallelism: int = 64,
+                 cooldown: float = 30.0,
+                 metric: str = "max"):
+        super().__init__(job, controller, operator)
+        if not 0 < target < high_threshold <= 1.5:
+            raise ValueError("need 0 < target < high_threshold")
+        if metric not in ("max", "mean"):
+            raise ValueError(f"unknown metric: {metric!r}")
+        self.high_threshold = high_threshold
+        self.target = target
+        self.interval = interval
+        self.hold_samples = hold_samples
+        self.max_parallelism = max_parallelism
+        self.cooldown = cooldown
+        #: "max" watches the hottest instance (robust under key skew, where
+        #: one saturated subtask head-of-line-blocks the whole pipeline
+        #: while the *mean* stays deceptively low); "mean" is the classic
+        #: aggregate signal.
+        self.metric = metric
+
+    def _utilization(self, busy_before: dict) -> float:
+        instances = self.job.instances(self.operator)
+        fractions = []
+        for inst in instances:
+            delta = inst.busy_seconds - busy_before.get(id(inst), 0.0)
+            fractions.append(delta / self.interval)
+        if not fractions:
+            return 0.0
+        if self.metric == "max":
+            return max(fractions)
+        return sum(fractions) / len(fractions)
+
+    def _loop(self):
+        window = _Window(self.hold_samples)
+        last_scale = -float("inf")
+        while self._running:
+            busy_before = {id(inst): inst.busy_seconds
+                           for inst in self.job.instances(self.operator)}
+            yield self.job.sim.timeout(self.interval)
+            if not self._running:
+                return
+            window.push(self._utilization(busy_before))
+            now = self.job.sim.now
+            if (window.full and window.mean > self.high_threshold
+                    and not self.controller.active
+                    and now - last_scale >= self.cooldown):
+                current = len(self.job.instances(self.operator))
+                wanted = min(self.max_parallelism,
+                             max(current + 1,
+                                 int(round(current * window.mean
+                                           / self.target))))
+                if wanted > current:
+                    self._request(wanted)
+                    last_scale = now
+                    window.samples.clear()
+
+
+class BacklogPolicy(ScalingPolicy):
+    """Reactive scale-out on sustained input backlog.
+
+    Backlog is the total queued elements across the operator's input
+    channels plus the source admission queues feeding it (a proxy for
+    consumer lag).  Exceeding ``max_backlog`` for ``hold_samples``
+    consecutive checks triggers a one-step scale-out.
+    """
+
+    def __init__(self, job, controller, operator,
+                 max_backlog: int = 200,
+                 interval: float = 5.0,
+                 hold_samples: int = 2,
+                 step: int = 2,
+                 max_parallelism: int = 64,
+                 cooldown: float = 30.0):
+        super().__init__(job, controller, operator)
+        self.max_backlog = max_backlog
+        self.interval = interval
+        self.hold_samples = hold_samples
+        self.step = step
+        self.max_parallelism = max_parallelism
+        self.cooldown = cooldown
+
+    def _backlog(self) -> int:
+        total = 0
+        for inst in self.job.instances(self.operator):
+            for channel in inst.input_channels:
+                total += len(channel.queue)
+        for source in self.job.sources():
+            total += source.backlog
+        return total
+
+    def _loop(self):
+        over = 0
+        last_scale = -float("inf")
+        while self._running:
+            yield self.job.sim.timeout(self.interval)
+            if not self._running:
+                return
+            over = over + 1 if self._backlog() > self.max_backlog else 0
+            now = self.job.sim.now
+            if (over >= self.hold_samples and not self.controller.active
+                    and now - last_scale >= self.cooldown):
+                current = len(self.job.instances(self.operator))
+                wanted = min(self.max_parallelism, current + self.step)
+                if wanted > current:
+                    self._request(wanted)
+                    last_scale = now
+                    over = 0

@@ -1,0 +1,85 @@
+"""Record Scheduling (§III-B): pure scanning policies.
+
+Two engine-level, semantics-preserving adjustments of record-execution
+order, factored out of the input handler so they can be unit- and
+property-tested in isolation:
+
+* **Inter-channel scheduling** — when the head of the active channel is
+  unprocessable, switch to any channel whose head *is* processable.  Legal
+  because cross-channel arrival order is already non-deterministic.
+* **Intra-channel scheduling** — when every head is unprocessable, bypass
+  unprocessable records *within* a channel, up to a bounded
+  pre-serialization buffer, never crossing a time-semantics signal
+  (watermark, checkpoint barrier, confirm barrier, coupled scaling barrier).
+  Legal because records of the same key share processability, so a bypass
+  always reorders records of *different* keys only.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+from ..engine.channels import InputChannel
+from ..engine.records import StreamElement
+
+__all__ = ["scan_inter_channel", "scan_intra_channel"]
+
+Ready = Callable[[StreamElement], bool]
+
+
+def scan_inter_channel(channels: Sequence[InputChannel], ready: Ready,
+                       start: int = 0
+                       ) -> Tuple[Optional[InputChannel], bool]:
+    """Find a channel whose head is processable.
+
+    Returns ``(channel, saw_unprocessable)``: the first channel (round-robin
+    from ``start``) whose head satisfies ``ready``, or ``None``; and whether
+    any unprocessable-but-present data was seen (distinguishes suspension
+    from idleness).
+    """
+    n = len(channels)
+    saw_unprocessable = False
+    for offset in range(n):
+        channel = channels[(start + offset) % n]
+        if channel.blocked:
+            if channel.queue:
+                saw_unprocessable = True
+            continue
+        head = channel.peek()
+        if head is None:
+            continue
+        if ready(head):
+            return channel, saw_unprocessable
+        saw_unprocessable = True
+    return None, saw_unprocessable
+
+
+def scan_intra_channel(channels: Sequence[InputChannel], ready: Ready,
+                       buffer_size: int, start: int = 0
+                       ) -> Optional[Tuple[InputChannel, StreamElement]]:
+    """Find a processable record behind unprocessable ones.
+
+    Scans at most ``buffer_size`` elements in total (the bounded
+    pre-serialization buffer, 200 in the paper's implementation) and stops a
+    channel's scan at the first time-semantics signal — bypassing across a
+    watermark, checkpoint barrier or scaling barrier would break result
+    consistency (§III-B).
+
+    The caller must consume the returned element with
+    :meth:`InputChannel.remove`, preserving the rest of the channel's order.
+    """
+    n = len(channels)
+    scanned = 0
+    for offset in range(n):
+        channel = channels[(start + offset) % n]
+        if channel.blocked:
+            continue
+        for element in channel.queue:
+            scanned += 1
+            if scanned > buffer_size:
+                return None
+            if element.is_time_signal:
+                break  # never schedule across a time signal
+            if ready(element):
+                return channel, element
+    return None

@@ -1,0 +1,353 @@
+"""Network channels: output caches, credit-based input buffers, control lane.
+
+Each :class:`Channel` connects one sender instance to one receiver instance
+and models the parts of Flink's Netty stack the paper's mechanisms act on:
+
+* a bounded **outbox** (the "output cache"): records wait here for
+  serialization; a full outbox blocks the sender → backpressure.
+* a serializer/drainer process: one element at a time, costing
+  ``size_bytes / bandwidth`` seconds, then ``latency`` seconds of propagation.
+* **credit-based flow control**: the receiver grants ``inbox_capacity``
+  credits; the drainer stalls with no credits, so a slow receiver backs the
+  whole pipeline up (the "input cache" is the per-channel inbox).
+* a **control lane** (:meth:`send_control`): priority messages that bypass
+  all in-flight data in both caches — how DRRS trigger barriers achieve
+  topologically-shortest, alignment-free propagation.
+* outbox **introspection/redirection** (:meth:`extract_outbox`,
+  :meth:`send_front`): how confirm barriers jump the output cache and how the
+  records they bypass are re-queued onto the new instance's channel.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, TYPE_CHECKING
+
+from ..simulation.kernel import Event, Simulator
+from ..simulation.primitives import Signal
+from .cluster import LinkSpec
+from .records import StreamElement, Watermark
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .operators import OperatorInstance
+
+__all__ = ["Channel", "InputChannel"]
+
+
+class Channel:
+    """A one-way link from a sender instance to a receiver input channel."""
+
+    def __init__(self, sim: Simulator, link: LinkSpec, name: str = "",
+                 outbox_capacity: int = 64, inbox_capacity: int = 64):
+        self.sim = sim
+        self.link = link
+        self.name = name
+        self.outbox_capacity = outbox_capacity
+        self.outbox: Deque[StreamElement] = deque()
+        self.credits = inbox_capacity
+        self.inbox_capacity = inbox_capacity
+        self.input_channel: Optional["InputChannel"] = None
+        self._drain_wake = Signal(sim)
+        self._send_waiters: Deque = deque()  # (Event, StreamElement) pairs
+        self._in_flight = 0  # elements past the outbox, not yet delivered
+        self._closed = False
+        #: Bumped by flush(); deliveries scheduled under an older epoch are
+        #: dropped (failure recovery discards in-flight data).
+        self._epoch = 0
+        self.sender: Optional["OperatorInstance"] = None
+        sim.spawn(self._drainer(), name=f"drain:{name}")
+
+    # -- sender API ----------------------------------------------------------
+
+    def send(self, element: StreamElement) -> Event:
+        """Enqueue ``element``; the returned event fires once accepted.
+
+        Blocks (event stays pending) while the outbox is full — this is the
+        backpressure path.
+        """
+        ev = self.sim.event()
+        if self._closed:
+            ev.succeed()  # decommissioned target: accept and drop
+        elif len(self.outbox) < self.outbox_capacity:
+            self.outbox.append(element)
+            ev.succeed()
+            self._drain_wake.fire()
+        else:
+            self._send_waiters.append((ev, element))
+        return ev
+
+    def try_send(self, element: StreamElement) -> bool:
+        """Non-blocking send; False when the outbox is full."""
+        if self._closed:
+            return True  # accept and drop
+        if len(self.outbox) >= self.outbox_capacity:
+            return False
+        self.outbox.append(element)
+        self._drain_wake.fire()
+        return True
+
+    def send_front(self, element: StreamElement) -> None:
+        """Insert at the *front* of the outbox (priority-in-output-cache).
+
+        Used by confirm barriers: they overtake everything queued in the
+        output cache.  Control elements are tiny, so this never blocks.
+        """
+        self.outbox.appendleft(element)
+        self._drain_wake.fire()
+
+    def send_control(self, element: StreamElement) -> None:
+        """Priority control-lane send: bypass both caches entirely.
+
+        The element reaches the receiver's control handler after only the
+        link propagation latency — this is how trigger barriers bypass all
+        in-flight data (§III-A).
+        """
+        self.sim.call_in(self.link.latency,
+                         lambda: self._deliver_control(element))
+
+    def extract_outbox(
+            self, predicate: Callable[[StreamElement], bool]
+    ) -> List[StreamElement]:
+        """Remove and return outbox elements matching ``predicate``.
+
+        Relative order among the extracted elements is preserved; the rest of
+        the outbox keeps its order.  Used to redirect bypassed records to a
+        newly created channel during confirm-barrier injection.
+        """
+        kept: Deque[StreamElement] = deque()
+        extracted: List[StreamElement] = []
+        for element in self.outbox:
+            if predicate(element):
+                extracted.append(element)
+            else:
+                kept.append(element)
+        self.outbox = kept
+        # Also redirect records still *waiting* for outbox space: they were
+        # emitted (routed) before the injection, so they belong to the
+        # preceding epoch and must travel with the other bypassed records.
+        kept_waiters: Deque = deque()
+        for ev, element in self._send_waiters:
+            if predicate(element):
+                extracted.append(element)
+                if not ev.triggered:
+                    ev.succeed()  # accepted — by redirection
+            else:
+                kept_waiters.append((ev, element))
+        self._send_waiters = kept_waiters
+        if extracted:
+            self._grant_sends()
+        return extracted
+
+    def inject_confirm(self, predicate: Callable[[StreamElement], bool],
+                       barrier: StreamElement) -> List[StreamElement]:
+        """Priority-in-output-cache barrier insertion with redirection.
+
+        Implements the confirm-barrier placement of §III-A together with
+        the fault-tolerance rule of §IV-C (Fig. 9a): the barrier overtakes
+        the output cache, the records it bypasses that match ``predicate``
+        are removed (returned for redirection), **but redirection concludes
+        at the newest checkpoint barrier in the cache** — elements at or
+        before that barrier belong to the snapshot's consistent cut and
+        stay put, and the confirm barrier lands immediately after it
+        (forming the integrated signal).
+
+        Blocked send-waiters are logically behind the whole cache, so
+        matching waiter elements are always redirected.
+        """
+        from .records import CheckpointBarrier
+
+        elements = list(self.outbox)
+        cut = -1
+        for index, element in enumerate(elements):
+            if isinstance(element, CheckpointBarrier):
+                cut = index
+        kept: List[StreamElement] = []
+        bypassed: List[StreamElement] = []
+        for index, element in enumerate(elements):
+            if index > cut and predicate(element):
+                bypassed.append(element)
+            else:
+                kept.append(element)
+        # All elements <= cut were kept, so the checkpoint barrier sits at
+        # position `cut` in `kept`; the confirm barrier goes right after it
+        # (or at the very front when there is no checkpoint barrier).
+        kept.insert(cut + 1, barrier)
+        self.outbox = deque(kept)
+        kept_waiters: Deque = deque()
+        for ev, element in self._send_waiters:
+            if predicate(element):
+                bypassed.append(element)
+                if not ev.triggered:
+                    ev.succeed()
+            else:
+                kept_waiters.append((ev, element))
+        self._send_waiters = kept_waiters
+        self._grant_sends()
+        self._drain_wake.fire()
+        return bypassed
+
+    @property
+    def queued(self) -> int:
+        """Elements in the outbox plus in flight (for diagnostics)."""
+        return len(self.outbox) + self._in_flight
+
+    @property
+    def backlog(self) -> int:
+        """Total unconsumed elements on this channel end-to-end."""
+        inbox = len(self.input_channel.queue) if self.input_channel else 0
+        return len(self.outbox) + self._in_flight + inbox
+
+    def flush(self) -> None:
+        """Discard everything queued or in flight (failure recovery).
+
+        The outbox empties, blocked senders are released with their
+        elements dropped, in-flight deliveries are invalidated, and flow-
+        control credits reset to a full window.
+        """
+        self._epoch += 1
+        self.outbox.clear()
+        waiters, self._send_waiters = self._send_waiters, deque()
+        for ev, _element in waiters:
+            if not ev.triggered:
+                ev.succeed()
+        self.credits = self.inbox_capacity
+        self._drain_wake.fire()
+
+    def close(self) -> None:
+        """Stop the channel: the drainer exits, queued and future sends are
+        dropped, and any blocked sender is released."""
+        self._closed = True
+        self.outbox.clear()
+        waiters, self._send_waiters = self._send_waiters, deque()
+        for ev, _element in waiters:
+            if not ev.triggered:
+                ev.succeed()
+        self._drain_wake.fire()
+
+    # -- receiver attachment -------------------------------------------------
+
+    def attach(self, input_channel: "InputChannel") -> None:
+        self.input_channel = input_channel
+        input_channel.channel = self
+        self._drain_wake.fire()
+
+    def _return_credit(self) -> None:
+        self.credits += 1
+        self._drain_wake.fire()
+
+    # -- internals -------------------------------------------------------------
+
+    def _grant_sends(self) -> None:
+        while self._send_waiters and len(self.outbox) < self.outbox_capacity:
+            waiter, element = self._send_waiters.popleft()
+            if waiter.triggered:
+                continue
+            self.outbox.append(element)
+            waiter.succeed()
+            self._drain_wake.fire()
+
+    def _drainer(self):
+        """Serialize and ship outbox elements, one at a time."""
+        while True:
+            while (self._closed
+                   or not self.outbox
+                   or self.credits <= 0
+                   or self.input_channel is None):
+                if self._closed:
+                    return
+                yield self._drain_wake.wait()
+            element = self.outbox.popleft()
+            self._grant_sends()
+            self.credits -= 1
+            self._in_flight += 1
+            epoch = self._epoch
+            serialize = element.size_bytes / self.link.bandwidth
+            if serialize > 0:
+                yield self.sim.timeout(serialize)
+            self.sim.call_in(
+                self.link.latency,
+                lambda e=element, ep=epoch: self._deliver(e, ep))
+
+    def _deliver(self, element: StreamElement, epoch: int = None) -> None:
+        self._in_flight -= 1
+        if epoch is not None and epoch != self._epoch:
+            return  # flushed while in flight: dropped
+        if self.input_channel is not None:
+            self.input_channel.deliver(element)
+
+    def _deliver_control(self, element: StreamElement) -> None:
+        if self.input_channel is not None:
+            self.input_channel.deliver_control(element)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<Channel {self.name} backlog={self.backlog}>"
+
+
+class InputChannel:
+    """The receiver-side view of one channel: the per-channel input cache."""
+
+    def __init__(self, instance: "OperatorInstance", name: str = ""):
+        self.instance = instance
+        self.name = name
+        self.queue: Deque[StreamElement] = deque()
+        self.channel: Optional[Channel] = None
+        #: Latest watermark seen on this channel.
+        self.watermark = float("-inf")
+        #: Tokens of the alignments currently blocking this channel; the
+        #: channel is readable only when no token is held.  Token-based
+        #: blocking lets overlapping alignments (concurrent subscales,
+        #: checkpoint + scaling) coexist without releasing each other.
+        self.block_tokens: set = set()
+        #: True for runtime-created auxiliary channels (re-route paths);
+        #: excluded from watermark aggregation, checkpoint alignment and EOS.
+        self.is_auxiliary = False
+
+    @property
+    def blocked(self) -> bool:
+        return bool(self.block_tokens)
+
+    def block(self, token) -> None:
+        self.block_tokens.add(token)
+
+    def unblock(self, token) -> None:
+        self.block_tokens.discard(token)
+        if not self.block_tokens:
+            self.instance.wake.fire()
+
+    def deliver(self, element: StreamElement) -> None:
+        self.queue.append(element)
+        self.instance.wake.fire()
+
+    def deliver_control(self, element: StreamElement) -> None:
+        self.instance.on_control(self, element)
+
+    def peek(self) -> Optional[StreamElement]:
+        return self.queue[0] if self.queue else None
+
+    def pop(self) -> StreamElement:
+        """Consume the head element and return its flow-control credit."""
+        element = self.queue.popleft()
+        if self.channel is not None:
+            self.channel._return_credit()
+        return element
+
+    def remove(self, element: StreamElement) -> None:
+        """Consume a specific (possibly non-head) element.
+
+        Used by intra-channel scheduling, which may process a later record
+        while the head is unprocessable.  Credit accounting matches
+        :meth:`pop`.
+        """
+        self.queue.remove(element)
+        if self.channel is not None:
+            self.channel._return_credit()
+
+    def note_watermark(self, watermark: Watermark) -> None:
+        if watermark.timestamp > self.watermark:
+            self.watermark = watermark.timestamp
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<InputChannel {self.name} depth={len(self.queue)}>"

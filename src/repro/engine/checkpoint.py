@@ -1,0 +1,55 @@
+"""Periodic aligned checkpointing (Flink-style), as a coordinator process.
+
+Needed both as the substrate for Stop-Checkpoint-Restart scaling and for the
+DRRS fault-tolerance-compatibility tests (§IV-C): a checkpoint barrier in
+flight while scaling signals are injected must still yield a consistent
+snapshot.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Tuple
+
+from .records import CheckpointBarrier
+from .runtime import StreamJob
+
+__all__ = ["CheckpointCoordinator"]
+
+
+class CheckpointCoordinator:
+    """Injects checkpoint barriers at the sources on a fixed interval."""
+
+    def __init__(self, job: StreamJob, interval: float):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.job = job
+        self.interval = interval
+        self._ids = itertools.count(1)
+        self.completed: List[Tuple[float, int]] = []
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.job.sim.spawn(self._loop(), name="checkpoint-coordinator")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def trigger_now(self) -> int:
+        """Inject one checkpoint immediately; returns its id."""
+        checkpoint_id = next(self._ids)
+        barrier = CheckpointBarrier(checkpoint_id=checkpoint_id)
+        for source in self.job.sources():
+            source.inject(CheckpointBarrier(checkpoint_id=checkpoint_id))
+        return checkpoint_id
+
+    def _loop(self):
+        while self._running:
+            yield self.job.sim.timeout(self.interval)
+            if not self._running:
+                return
+            checkpoint_id = self.trigger_now()
+            self.completed.append((self.job.sim.now, checkpoint_id))

@@ -1,0 +1,137 @@
+"""Runtime metrics: end-to-end latency, throughput, backlog.
+
+The collector mirrors the paper's measurement methodology (§V-A):
+
+* **End-to-end latency** comes from periodically injected latency markers
+  that flow through the system as regular records but bypass windowing.
+  Marker latency includes source-admission (Kafka-transit-equivalent) time,
+  so backpressure on sources shows up in the latency signal.
+* **Throughput** is the output rate of source operators over fixed windows,
+  covering both ingest consumption and internal generation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["MetricsCollector", "series_peak", "series_mean", "percentile"]
+
+
+class MetricsCollector:
+    """Central sink for measurements produced during one simulated run."""
+
+    def __init__(self):
+        self.latency_samples: List[Tuple[float, float]] = []
+        self._source_events: List[Tuple[float, int]] = []
+        self._sink_events: List[Tuple[float, int]] = []
+        self.custom: Dict[str, List[Tuple[float, float]]] = {}
+
+    # -- recording -------------------------------------------------------------
+
+    def record_latency(self, time: float, latency: float) -> None:
+        self.latency_samples.append((time, latency))
+
+    def record_source_output(self, time: float, count: int) -> None:
+        self._source_events.append((time, count))
+
+    def record_sink_input(self, time: float, count: int) -> None:
+        self._sink_events.append((time, count))
+
+    def record_custom(self, name: str, time: float, value: float) -> None:
+        self.custom.setdefault(name, []).append((time, value))
+
+    # -- series ------------------------------------------------------------------
+
+    def latency_series(self) -> List[Tuple[float, float]]:
+        return list(self.latency_samples)
+
+    def throughput_series(self, window: float = 1.0,
+                          start: float = 0.0,
+                          end: Optional[float] = None
+                          ) -> List[Tuple[float, float]]:
+        """Source output rate (records/s) per ``window``-second bucket."""
+        return _rate_series(self._source_events, window, start, end)
+
+    def sink_rate_series(self, window: float = 1.0,
+                         start: float = 0.0,
+                         end: Optional[float] = None
+                         ) -> List[Tuple[float, float]]:
+        return _rate_series(self._sink_events, window, start, end)
+
+    def total_source_output(self, start: float = 0.0,
+                            end: float = math.inf) -> int:
+        return sum(c for t, c in self._source_events if start <= t < end)
+
+    def total_sink_input(self, start: float = 0.0,
+                         end: float = math.inf) -> int:
+        return sum(c for t, c in self._sink_events if start <= t < end)
+
+    # -- scalar summaries ----------------------------------------------------------
+
+    def latency_stats(self, start: float = 0.0, end: float = math.inf
+                      ) -> Dict[str, float]:
+        values = [v for t, v in self.latency_samples if start <= t < end]
+        if not values:
+            return {"peak": 0.0, "mean": 0.0, "p50": 0.0, "p99": 0.0,
+                    "count": 0}
+        return {
+            "peak": max(values),
+            "mean": sum(values) / len(values),
+            "p50": percentile(values, 50.0),
+            "p99": percentile(values, 99.0),
+            "count": len(values),
+        }
+
+
+def _rate_series(events: Sequence[Tuple[float, int]], window: float,
+                 start: float, end: Optional[float]
+                 ) -> List[Tuple[float, float]]:
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if not events:
+        return []
+    if end is None:
+        end = max(t for t, _c in events) + window
+    buckets: Dict[int, int] = {}
+    for t, count in events:
+        if t < start or t >= end:
+            continue
+        buckets[int((t - start) // window)] = (
+            buckets.get(int((t - start) // window), 0) + count)
+    n_buckets = int(math.ceil((end - start) / window))
+    series = []
+    for i in range(n_buckets):
+        series.append((start + (i + 0.5) * window,
+                       buckets.get(i, 0) / window))
+    return series
+
+
+def series_peak(series: Sequence[Tuple[float, float]],
+                start: float = 0.0, end: float = math.inf) -> float:
+    values = [v for t, v in series if start <= t < end]
+    return max(values) if values else 0.0
+
+
+def series_mean(series: Sequence[Tuple[float, float]],
+                start: float = 0.0, end: float = math.inf) -> float:
+    values = [v for t, v in series if start <= t < end]
+    return sum(values) / len(values) if values else 0.0
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolated percentile of ``values`` (pct in [0, 100])."""
+    if not values:
+        raise ValueError("empty values")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError("pct must be within [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = pct / 100.0 * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac

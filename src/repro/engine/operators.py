@@ -1,0 +1,453 @@
+"""Operator logic classes and the operator-instance runtime process.
+
+An :class:`OperatorInstance` is one parallel subtask of an operator: a DES
+process that pulls elements from its input channels through a *pluggable
+input handler*, applies the operator logic, and pushes results through its
+output router (blocking on backpressure).  The input handler is the hook the
+paper's Scale Input Handler (B1) replaces during scaling; everything a
+scaling mechanism needs — suspending, re-ordering, classifying barriers — is
+expressed as an input-handler policy, so the vanilla engine is untouched in
+non-scaling periods.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from ..simulation.kernel import Simulator
+from ..simulation.primitives import Signal
+from .channels import InputChannel
+from .cluster import NodeSpec
+from .metrics import MetricsCollector
+from .records import (CheckpointBarrier, ControlSignal, EndOfStream,
+                      LatencyMarker, Record, StreamElement, Watermark)
+from .routing import OutputRouter
+from .state import KeyedStateBackend
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .graph import OperatorSpec
+    from .runtime import StreamJob
+
+__all__ = [
+    "OperatorLogic",
+    "MapLogic",
+    "FilterLogic",
+    "KeyByLogic",
+    "KeyedReduceLogic",
+    "PassThroughLogic",
+    "SinkLogic",
+    "InputHandler",
+    "DefaultInputHandler",
+    "OperatorInstance",
+]
+
+
+# ---------------------------------------------------------------------------
+# Operator logic
+# ---------------------------------------------------------------------------
+
+class OperatorLogic:
+    """User-level processing logic; one instance per parallel subtask."""
+
+    def open(self, instance: "OperatorInstance") -> None:
+        """Called once before the first element."""
+
+    def on_record(self, record: Record,
+                  instance: "OperatorInstance") -> List[StreamElement]:
+        raise NotImplementedError
+
+    def on_watermark(self, timestamp: float,
+                     instance: "OperatorInstance") -> List[StreamElement]:
+        """Called when the operator's combined watermark advances."""
+        return []
+
+
+class PassThroughLogic(OperatorLogic):
+    """Identity operator (used by sources and tests)."""
+
+    def on_record(self, record, instance):
+        return [record]
+
+
+class MapLogic(OperatorLogic):
+    """Applies ``fn(record) -> record`` to every record."""
+
+    def __init__(self, fn: Callable[[Record], Record]):
+        self.fn = fn
+
+    def on_record(self, record, instance):
+        return [self.fn(record)]
+
+
+class FilterLogic(OperatorLogic):
+    """Keeps records for which ``predicate(record)`` is true.
+
+    For batch records the ``pass_fraction`` thins the batch count instead,
+    preserving throughput semantics.
+    """
+
+    def __init__(self, predicate: Callable[[Record], bool] = None,
+                 pass_fraction: float = 1.0):
+        self.predicate = predicate
+        self.pass_fraction = pass_fraction
+
+    def on_record(self, record, instance):
+        if self.predicate is not None and not self.predicate(record):
+            return []
+        if self.pass_fraction >= 1.0:
+            return [record]
+        kept = max(1, int(round(record.count * self.pass_fraction)))
+        return [record.copy_with(
+            count=kept,
+            size_bytes=record.size_bytes * kept / max(record.count, 1))]
+
+
+class KeyByLogic(OperatorLogic):
+    """Re-keys records: downstream hash edges will recompute key-groups."""
+
+    def __init__(self, key_fn: Callable[[Record], Any]):
+        self.key_fn = key_fn
+
+    def on_record(self, record, instance):
+        return [record.copy_with(key=self.key_fn(record), key_group=None)]
+
+
+class KeyedReduceLogic(OperatorLogic):
+    """Running per-key reduction with keyed state.
+
+    ``reduce_fn(old_value, record) -> new_value``; emits the updated value
+    when ``emit_updates`` is set.  State bytes grow with distinct keys and,
+    optionally, with per-record ``state_bytes_per_record`` (modelling
+    list/window state growth for sizing experiments).
+    """
+
+    def __init__(self, reduce_fn: Callable[[Any, Record], Any],
+                 emit_updates: bool = True,
+                 state_bytes_per_record: float = 0.0):
+        self.reduce_fn = reduce_fn
+        self.emit_updates = emit_updates
+        self.state_bytes_per_record = state_bytes_per_record
+
+    def on_record(self, record, instance):
+        kg = record.key_group
+        old = instance.state.get(kg, record.key)
+        new = self.reduce_fn(old, record)
+        instance.state.put(kg, record.key, new)
+        if self.state_bytes_per_record:
+            instance.state.add_bytes(
+                kg, self.state_bytes_per_record * record.count)
+        if not self.emit_updates:
+            return []
+        return [record.copy_with(value=new)]
+
+
+class SinkLogic(OperatorLogic):
+    """Terminal operator: counts arrivals and optionally collects output."""
+
+    def __init__(self, collect: bool = False):
+        self.collect = collect
+        self.collected: List[Record] = []
+        self.records_in = 0
+
+    def on_record(self, record, instance):
+        self.records_in += record.count
+        instance.metrics.record_sink_input(instance.sim.now, record.count)
+        if self.collect:
+            self.collected.append(record)
+        return []
+
+
+# ---------------------------------------------------------------------------
+# Input handlers
+# ---------------------------------------------------------------------------
+
+class InputHandler:
+    """Chooses the next element to deliver to the operator.
+
+    ``poll`` must consume (pop) the chosen element from its input channel and
+    return ``(channel, element)``, or ``None`` when nothing can be processed
+    right now.  After a ``None``, :attr:`suspended` tells the instance whether
+    the stall was a *suspension* (data present but unprocessable — counted in
+    the paper's cumulative suspension time) or mere idleness.
+    """
+
+    def __init__(self, instance: "OperatorInstance"):
+        self.instance = instance
+        self.suspended = False
+
+    def poll(self) -> Optional[Tuple[InputChannel, StreamElement]]:
+        raise NotImplementedError
+
+    def on_channel_added(self, channel: InputChannel) -> None:
+        """Notification that a new input channel appeared (rescaling)."""
+
+
+class DefaultInputHandler(InputHandler):
+    """Flink-like default: round-robin over unblocked, non-empty channels."""
+
+    def __init__(self, instance: "OperatorInstance"):
+        super().__init__(instance)
+        self._cursor = 0
+
+    def poll(self):
+        channels = self.instance.input_channels
+        if not channels:
+            self.suspended = False
+            return None
+        n = len(channels)
+        saw_blocked_data = False
+        for offset in range(n):
+            channel = channels[(self._cursor + offset) % n]
+            if channel.blocked:
+                if channel.queue:
+                    saw_blocked_data = True
+                continue
+            if channel.queue:
+                self._cursor = (self._cursor + offset + 1) % n
+                return channel, channel.pop()
+        self.suspended = saw_blocked_data
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Operator instance runtime
+# ---------------------------------------------------------------------------
+
+class OperatorInstance:
+    """One parallel subtask: a DES process bound to a cluster node."""
+
+    def __init__(self, sim: Simulator, job: "StreamJob",
+                 spec: "OperatorSpec", index: int, node: NodeSpec,
+                 metrics: MetricsCollector):
+        self.sim = sim
+        self.job = job
+        self.spec = spec
+        self.index = index
+        self.node = node
+        self.metrics = metrics
+        self.logic: OperatorLogic = spec.logic_factory()
+        self.input_channels: List[InputChannel] = []
+        self.router = OutputRouter(self)
+        self.state = KeyedStateBackend(bytes_per_entry=spec.bytes_per_entry)
+        self.wake = Signal(sim)
+        self.input_handler: InputHandler = DefaultInputHandler(self)
+        #: Scaling hook: called for control-lane signals.
+        self.control_handler: Optional[Callable[
+            [Optional[InputChannel], StreamElement], None]] = None
+        #: Scaling hook: observes every element before normal handling and
+        #: may swallow it (return True) — used for confirm barriers.
+        self.element_interceptor: Optional[Callable[
+            [InputChannel, StreamElement], bool]] = None
+
+        self.running = False
+        self.paused = False
+        self.current_watermark = float("-inf")
+        #: Key-group currently being processed (migration must not extract
+        #: a group mid-record).
+        self.current_key_group = None
+        #: True while an element is mid-flight through handle_element
+        #: (used by drain-to-quiescence protocols).
+        self.processing_element = False
+        self.suspended_seconds = 0.0
+        self.busy_seconds = 0.0
+        self.records_processed = 0
+        self._suspension_listener: Optional[Callable[
+            [OperatorInstance, float, float], None]] = None
+        self._eos_channels: set = set()
+        self._pending_checkpoint: Dict[int, set] = {}
+        self._inband: List = []
+        self._process = None
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return f"{self.spec.name}[{self.index}]"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<{self.name} on {self.node.name}>"
+
+    # -- wiring ---------------------------------------------------------------
+
+    def add_input_channel(self, name: str = "") -> InputChannel:
+        channel = InputChannel(self, name=name or f"in->{self.name}")
+        # New channels must not hold back the watermark: start them at the
+        # operator's current watermark (rescaling adds channels at runtime).
+        if self.current_watermark > float("-inf"):
+            channel.watermark = self.current_watermark
+        self.input_channels.append(channel)
+        self.input_handler.on_channel_added(channel)
+        return channel
+
+    def set_suspension_listener(self, listener) -> None:
+        self._suspension_listener = listener
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self.logic.open(self)
+        self._process = self.sim.spawn(self._run(), name=self.name)
+
+    def stop(self) -> None:
+        self.running = False
+        self.wake.fire()
+
+    def pause(self) -> None:
+        self.paused = True
+
+    def resume(self) -> None:
+        self.paused = False
+        self.wake.fire()
+
+    # -- control lane -----------------------------------------------------------
+
+    def on_control(self, channel: Optional[InputChannel],
+                   element: StreamElement) -> None:
+        if self.control_handler is not None:
+            self.control_handler(channel, element)
+
+    def run_inband(self, fn) -> None:
+        """Run generator-function ``fn(instance)`` in-band.
+
+        The function executes inside the instance's main loop, strictly
+        *between* elements — the injection point scaling coordinators need
+        for atomically updating routing tables and emitting barriers.
+        """
+        self._inband.append(fn)
+        self.wake.fire()
+
+    # -- main loop ------------------------------------------------------------------
+
+    def _run(self):
+        while self.running:
+            if self.paused:
+                yield self.wake.wait()
+                continue
+            if self._inband:
+                fn = self._inband.pop(0)
+                yield from fn(self)
+                continue
+            polled = self.input_handler.poll()
+            if polled is None:
+                if not self.running:
+                    break
+                suspended = self.input_handler.suspended
+                start = self.sim.now
+                yield self.wake.wait()
+                if suspended:
+                    self._note_suspension(start, self.sim.now)
+                continue
+            channel, element = polled
+            self.processing_element = True
+            try:
+                yield from self.handle_element(channel, element)
+            finally:
+                self.processing_element = False
+
+    def _note_suspension(self, start: float, end: float) -> None:
+        if end > start:
+            self.suspended_seconds += end - start
+            if self._suspension_listener is not None:
+                self._suspension_listener(self, start, end)
+
+    # -- element handling ---------------------------------------------------------
+
+    def service_time(self, count: int = 1) -> float:
+        return self.spec.service_time * count / self.node.speed
+
+    def handle_element(self, channel: Optional[InputChannel],
+                       element: StreamElement):
+        """Generator that fully processes one element (may block emitting)."""
+        if self.element_interceptor is not None:
+            if self.element_interceptor(channel, element):
+                return
+        if isinstance(element, Record):
+            yield from self._handle_record(element)
+        elif isinstance(element, Watermark):
+            yield from self._handle_watermark(channel, element)
+        elif isinstance(element, LatencyMarker):
+            yield from self._handle_marker(element)
+        elif isinstance(element, CheckpointBarrier):
+            yield from self._handle_checkpoint_barrier(channel, element)
+        elif isinstance(element, ControlSignal):
+            if getattr(self.job, "signal_router", None) is not None:
+                yield from self.job.signal_router(self, channel, element)
+            else:
+                self.on_control(channel, element)
+        elif isinstance(element, EndOfStream):
+            yield from self._handle_eos(channel, element)
+
+    def _handle_record(self, record: Record):
+        self.current_key_group = record.key_group
+        try:
+            cost = self.service_time(record.count)
+            if cost > 0:
+                start = self.sim.now
+                yield self.sim.timeout(cost)
+                self.busy_seconds += self.sim.now - start
+            self.records_processed += record.count
+            outputs = self.logic.on_record(record, self)
+        finally:
+            self.current_key_group = None
+        for out in outputs:
+            yield from self.router.emit(out)
+
+    def _handle_watermark(self, channel: Optional[InputChannel],
+                          watermark: Watermark):
+        if channel is not None:
+            channel.note_watermark(watermark)
+        new_wm = min((ch.watermark for ch in self.input_channels),
+                     default=watermark.timestamp)
+        if new_wm > self.current_watermark:
+            self.current_watermark = new_wm
+            outputs = self.logic.on_watermark(new_wm, self)
+            for out in outputs:
+                yield from self.router.emit(out)
+            yield from self.router.emit(Watermark(timestamp=new_wm))
+
+    def _handle_marker(self, marker: LatencyMarker):
+        cost = self.service_time(1)
+        if cost > 0:
+            yield self.sim.timeout(cost)
+            self.busy_seconds += cost
+        if self.spec.is_sink:
+            self.metrics.record_latency(self.sim.now,
+                                        self.sim.now - marker.emitted_at)
+        else:
+            yield from self.router.emit(marker)
+
+    def _handle_checkpoint_barrier(self, channel: Optional[InputChannel],
+                                   barrier: CheckpointBarrier):
+        """Aligned checkpointing: block the channel until all have arrived."""
+        token = ("ckpt", barrier.checkpoint_id)
+        seen = self._pending_checkpoint.setdefault(barrier.checkpoint_id,
+                                                   set())
+        if channel is not None:
+            channel.block(token)
+            seen.add(id(channel))
+        needed = {id(ch) for ch in self.input_channels
+                  if not ch.is_auxiliary}
+        if seen >= needed or channel is None:
+            # Alignment complete (or source-injected): snapshot and forward.
+            del self._pending_checkpoint[barrier.checkpoint_id]
+            sync_cost = self.job.checkpoint_sync_cost(self)
+            if sync_cost > 0:
+                yield self.sim.timeout(sync_cost)
+            self.job.note_snapshot(self, barrier)
+            yield from self.router.emit(barrier)
+            for ch in self.input_channels:
+                ch.unblock(token)
+            self.wake.fire()
+
+    def _handle_eos(self, channel: Optional[InputChannel],
+                    eos: EndOfStream):
+        if channel is not None:
+            self._eos_channels.add(id(channel))
+        needed = {id(ch) for ch in self.input_channels
+                  if not ch.is_auxiliary}
+        if channel is None or self._eos_channels >= needed:
+            yield from self.router.emit(eos)
+            self.running = False

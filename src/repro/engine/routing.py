@@ -1,0 +1,126 @@
+"""Output-side routing: per-sender routing tables over keyed edges.
+
+Every sender instance holds its *own copy* of the routing table for each
+outgoing keyed edge — exactly the structure scaling signals coordinate: a
+predecessor updates its private table and then emits barriers so downstream
+can tell which records were routed with the old vs. new table.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, TYPE_CHECKING
+
+from .channels import Channel
+from .keys import key_to_key_group
+from .records import (CheckpointBarrier, LatencyMarker, Record, StreamElement,
+                      Watermark)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .operators import OperatorInstance
+
+__all__ = ["Partitioning", "OutputEdge", "OutputRouter"]
+
+
+class Partitioning(enum.Enum):
+    FORWARD = "forward"        # 1:1 by instance index (chain)
+    HASH = "hash"              # key-group routing table
+    REBALANCE = "rebalance"    # round-robin
+    BROADCAST = "broadcast"    # every element to every target
+
+
+class OutputEdge:
+    """One sender instance's view of an edge to a downstream operator."""
+
+    def __init__(self, name: str, partitioning: Partitioning,
+                 num_key_groups: int = 0,
+                 sender_index: int = 0):
+        self.name = name
+        self.partitioning = partitioning
+        self.num_key_groups = num_key_groups
+        self.sender_index = sender_index
+        self.channels: List[Channel] = []
+        #: key-group -> index into ``channels``; private to this sender.
+        self.routing_table: Dict[int, int] = {}
+        self._rr = 0
+
+    def add_channel(self, channel: Channel) -> int:
+        """Register a channel to a (possibly new) downstream instance."""
+        self.channels.append(channel)
+        return len(self.channels) - 1
+
+    def set_routing(self, key_group: int, target_index: int) -> None:
+        if not 0 <= target_index < len(self.channels):
+            raise ValueError(
+                f"target {target_index} out of range "
+                f"({len(self.channels)} channels)")
+        self.routing_table[key_group] = target_index
+
+    def channel_for_record(self, record: Record) -> Channel:
+        if self.partitioning is Partitioning.HASH:
+            kg = record.key_group
+            if kg is None:
+                kg = key_to_key_group(record.key, self.num_key_groups)
+                record.key_group = kg
+            return self.channels[self.routing_table[kg]]
+        if self.partitioning is Partitioning.FORWARD:
+            return self.channels[self.sender_index % len(self.channels)]
+        if self.partitioning is Partitioning.REBALANCE:
+            channel = self.channels[self._rr % len(self.channels)]
+            self._rr += 1
+            return channel
+        raise ValueError(f"record on {self.partitioning} edge")
+
+    def channel_for_marker(self, marker: LatencyMarker) -> Channel:
+        if self.partitioning is Partitioning.HASH:
+            kg = marker.key_group
+            if kg is None:
+                kg = key_to_key_group(marker.key, self.num_key_groups)
+                marker.key_group = kg
+            return self.channels[self.routing_table[kg]]
+        if self.partitioning is Partitioning.FORWARD:
+            return self.channels[self.sender_index % len(self.channels)]
+        # Rebalance/broadcast edges: pin markers to one path for stable
+        # measurements.
+        return self.channels[self.sender_index % len(self.channels)]
+
+
+class OutputRouter:
+    """All outgoing edges of one operator instance, with blocking emit."""
+
+    def __init__(self, instance: "OperatorInstance"):
+        self.instance = instance
+        self.edges: List[OutputEdge] = []
+
+    def add_edge(self, edge: OutputEdge) -> None:
+        self.edges.append(edge)
+
+    def emit(self, element: StreamElement):
+        """Generator: yields until the element is accepted everywhere.
+
+        Records/markers go to exactly one channel per edge; watermarks and
+        checkpoint barriers are broadcast to every channel of every edge
+        (they must reach all downstream instances).
+        """
+        if isinstance(element, Record):
+            for edge in self.edges:
+                if edge.partitioning is Partitioning.BROADCAST:
+                    for channel in edge.channels:
+                        yield channel.send(element)
+                elif edge.channels:
+                    yield edge.channel_for_record(element).send(element)
+        elif isinstance(element, LatencyMarker):
+            for edge in self.edges:
+                if edge.channels:
+                    yield edge.channel_for_marker(element).send(element)
+        elif isinstance(element, (Watermark, CheckpointBarrier)):
+            for edge in self.edges:
+                for channel in edge.channels:
+                    yield channel.send(element)
+        else:
+            for edge in self.edges:
+                for channel in edge.channels:
+                    yield channel.send(element)
+
+    def all_channels(self) -> List[Channel]:
+        return [ch for edge in self.edges for ch in edge.channels]

@@ -1,0 +1,422 @@
+"""Execution runtime: expands a job graph onto a cluster and runs it.
+
+:class:`StreamJob` is the piece every scaling controller manipulates:
+
+* it owns the physical instances and channels,
+* it tracks the *current* key-group assignment of every keyed operator,
+* it can add instances and channels **at runtime** (on-the-fly scaling), and
+* it exposes the state-transfer and checkpoint cost models.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..simulation.kernel import Simulator
+from .channels import Channel, InputChannel
+from .cluster import ClusterModel, LinkSpec, NodeSpec, single_machine
+from .graph import EdgeSpec, JobGraph, OperatorSpec
+from .keys import KeyGroupAssignment
+from .metrics import MetricsCollector
+from .operators import OperatorInstance
+from .records import (CheckpointBarrier, EndOfStream, LatencyMarker, Record,
+                      StreamElement, Watermark)
+from .routing import OutputEdge, Partitioning
+from .state import StateStatus, StateTransferCostModel
+
+__all__ = ["JobConfig", "StreamJob", "SourceInstance"]
+
+
+@dataclass
+class JobConfig:
+    """Engine tunables shared by every run."""
+
+    #: Output-cache capacity per channel, in elements (batches).
+    outbox_capacity: int = 32
+    #: Input-cache (credit) capacity per channel, in elements.
+    inbox_capacity: int = 32
+    #: Snapshot write bandwidth (bytes/s) for checkpoints.
+    snapshot_bandwidth: float = 400e6
+    #: Fraction of snapshot time that blocks processing (aligned sync part).
+    snapshot_sync_fraction: float = 0.05
+    #: Time to provision a new instance (container start, task deploy) —
+    #: part of the paper's inherent overhead L_o.
+    instance_init_seconds: float = 0.5
+    #: State transfer cost model (extraction + network).
+    transfer: StateTransferCostModel = field(
+        default_factory=StateTransferCostModel)
+    #: Concurrent state transfers sharing one host's NIC/disk; with the
+    #: default transfer bandwidth fraction this caps aggregate state traffic
+    #: at roughly the host link rate.
+    max_concurrent_transfers_per_host: int = 4
+
+
+class SourceInstance(OperatorInstance):
+    """A source subtask: pulls from an admission queue, emits downstream.
+
+    The admission queue models the Kafka topic / internal generator: the
+    workload generator calls :meth:`offer` (never blocking — Kafka is
+    durable) and the source consumes as fast as downstream backpressure
+    allows.  Element ``created_at``/``emitted_at`` is stamped at *admission*,
+    so end-to-end latency includes queue wait, as in §V-A.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.pending: Deque[StreamElement] = deque()
+        self.injected: Deque[StreamElement] = deque()
+        self.emitted_records = 0
+        #: Elements consumed from the admission queue (the replay offset).
+        self.consumed_elements = 0
+        self._history: Optional[List[StreamElement]] = None
+
+    def enable_replay_history(self) -> None:
+        """Keep every admitted element so the source can be rewound
+        (checkpoint-recovery support).  Off by default: retention costs
+        memory proportional to the run."""
+        if self._history is None:
+            self._history = list(self.pending)
+
+    def rewind_to(self, offset: int) -> None:
+        """Rewind consumption to ``offset`` admitted elements (replay)."""
+        if self._history is None:
+            raise RuntimeError("replay history not enabled on this source")
+        if not 0 <= offset <= len(self._history):
+            raise ValueError(f"offset {offset} out of range")
+        self.pending = deque(self._history[offset:])
+        self.consumed_elements = offset
+        self.wake.fire()
+
+    def offer(self, element: StreamElement) -> None:
+        """Admit one element from the workload generator."""
+        now = self.sim.now
+        if isinstance(element, Record):
+            element.created_at = now
+        elif isinstance(element, LatencyMarker):
+            element.emitted_at = now
+        self.pending.append(element)
+        if self._history is not None:
+            self._history.append(element)
+        self.wake.fire()
+
+    def inject(self, element: StreamElement) -> None:
+        """Inject a control element (checkpoint barrier) ahead of data."""
+        self.injected.append(element)
+        self.wake.fire()
+
+    @property
+    def backlog(self) -> int:
+        return len(self.pending)
+
+    def _run(self):
+        while self.running:
+            if self.paused:
+                yield self.wake.wait()
+                continue
+            if self._inband:
+                fn = self._inband.pop(0)
+                yield from fn(self)
+                continue
+            if self.injected:
+                element = self.injected.popleft()
+                yield from self.handle_element(None, element)
+                continue
+            if not self.pending:
+                yield self.wake.wait()
+                continue
+            element = self.pending.popleft()
+            self.consumed_elements += 1
+            cost = self.service_time(
+                element.count if isinstance(element, Record) else 1)
+            if cost > 0:
+                yield self.sim.timeout(cost)
+            if isinstance(element, Record):
+                yield from self.router.emit(element)
+                self.emitted_records += element.count
+                self.metrics.record_source_output(self.sim.now,
+                                                  element.count)
+            elif isinstance(element, EndOfStream):
+                yield from self.router.emit(element)
+                self.running = False
+            else:
+                yield from self.handle_element(None, element)
+
+
+class StreamJob:
+    """A deployed, runnable dataflow."""
+
+    def __init__(self, graph: JobGraph,
+                 cluster: Optional[ClusterModel] = None,
+                 sim: Optional[Simulator] = None,
+                 metrics: Optional[MetricsCollector] = None,
+                 config: Optional[JobConfig] = None):
+        graph.validate()
+        self.graph = graph
+        self.cluster = cluster or single_machine()
+        self.sim = sim or Simulator()
+        self.metrics = metrics or MetricsCollector()
+        self.config = config or JobConfig()
+        self._instances: Dict[str, List[OperatorInstance]] = {}
+        #: Current (authoritative) key-group assignment per keyed operator.
+        self.assignments: Dict[str, KeyGroupAssignment] = {}
+        self._snapshots: List[Tuple[float, str, int]] = []
+        self._built = False
+        #: In-band scaling-signal dispatcher, installed by the active
+        #: scaling controller: ``generator(instance, channel, signal)``.
+        self.signal_router = None
+        #: Optional hook receiving ``(instance, barrier)`` on every
+        #: snapshot — the RecoveryManager's retention point.
+        self.snapshot_listener = None
+        #: Count of scaling operations currently in flight (any controller).
+        self.scaling_active = 0
+        self._transfer_gates: Dict[str, object] = {}
+
+    def transfer_gate(self, node_name: str):
+        """Per-host semaphore limiting concurrent state transfers."""
+        from ..simulation.primitives import Semaphore
+        gate = self._transfer_gates.get(node_name)
+        if gate is None:
+            gate = Semaphore(self.sim,
+                             self.config.max_concurrent_transfers_per_host)
+            self._transfer_gates[node_name] = gate
+        return gate
+
+    # -- construction -------------------------------------------------------------
+
+    def build(self) -> "StreamJob":
+        """Materialise instances and channels; idempotent."""
+        if self._built:
+            return self
+        for spec in self.graph.operators.values():
+            instances = []
+            for index in range(spec.parallelism):
+                instances.append(self._make_instance(spec, index))
+            self._instances[spec.name] = instances
+            if spec.keyed:
+                assignment = KeyGroupAssignment(self.graph.num_key_groups,
+                                                spec.parallelism)
+                self.assignments[spec.name] = assignment
+                for kg, owner in assignment.as_dict().items():
+                    instances[owner].state.register_group(
+                        kg, StateStatus.LOCAL,
+                        size_bytes=spec.initial_state_bytes_per_group)
+        for edge in self.graph.edges:
+            self._wire_edge(edge)
+        self._built = True
+        return self
+
+    def _make_instance(self, spec: OperatorSpec,
+                       index: int) -> OperatorInstance:
+        node = self.cluster.place()
+        cls = SourceInstance if spec.is_source else OperatorInstance
+        return cls(self.sim, self, spec, index, node, self.metrics)
+
+    def _wire_edge(self, edge: EdgeSpec) -> None:
+        dst_instances = self._instances[edge.dst]
+        assignment = self.assignments.get(edge.dst)
+        for sender in self._instances[edge.src]:
+            out_edge = OutputEdge(
+                name=edge.name,
+                partitioning=edge.partitioning,
+                num_key_groups=self.graph.num_key_groups,
+                sender_index=sender.index)
+            out_edge.dst_op = edge.dst
+            for dst in dst_instances:
+                self._connect(sender, out_edge, dst)
+            if edge.partitioning is Partitioning.HASH:
+                for kg, owner in assignment.as_dict().items():
+                    out_edge.set_routing(kg, owner)
+            sender.router.add_edge(out_edge)
+
+    def _connect(self, sender: OperatorInstance, out_edge: OutputEdge,
+                 dst: OperatorInstance) -> Channel:
+        link = self.cluster.link(sender.node.name, dst.node.name)
+        channel = Channel(
+            self.sim, link,
+            name=f"{sender.name}->{dst.name}",
+            outbox_capacity=self.config.outbox_capacity,
+            inbox_capacity=self.config.inbox_capacity)
+        channel.sender = sender
+        input_channel = dst.add_input_channel(name=channel.name)
+        channel.attach(input_channel)
+        out_edge.add_channel(channel)
+        return channel
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "StreamJob":
+        self.build()
+        for instances in self._instances.values():
+            for instance in instances:
+                instance.start()
+        return self
+
+    def run(self, until: Optional[float] = None) -> float:
+        self.start()
+        return self.sim.run(until=until)
+
+    def stop(self) -> None:
+        for instance in self.all_instances():
+            instance.stop()
+
+    # -- queries ------------------------------------------------------------------
+
+    def instances(self, name: str) -> List[OperatorInstance]:
+        return self._instances[name]
+
+    def all_instances(self) -> List[OperatorInstance]:
+        return [inst for group in self._instances.values()
+                for inst in group]
+
+    def sources(self) -> List[SourceInstance]:
+        return [inst for spec in self.graph.sources()
+                for inst in self._instances[spec.name]]
+
+    def sink_logic(self, name: Optional[str] = None):
+        sinks = self.graph.sinks()
+        if name is None:
+            if len(sinks) != 1:
+                raise ValueError("specify the sink name explicitly")
+            name = sinks[0].name
+        return self._instances[name][0].logic
+
+    def senders_to(self, op_name: str
+                   ) -> List[Tuple[OperatorInstance, OutputEdge]]:
+        """All (predecessor instance, output edge) pairs targeting an op."""
+        result = []
+        for src_name in self.graph.upstream_of(op_name):
+            for sender in self._instances[src_name]:
+                for edge in sender.router.edges:
+                    if getattr(edge, "dst_op", None) == op_name:
+                        result.append((sender, edge))
+        return result
+
+    def total_state_bytes(self, op_name: str) -> float:
+        return sum(inst.state.total_bytes()
+                   for inst in self._instances[op_name])
+
+    # -- runtime rescaling support -------------------------------------------------
+
+    def add_instance(self, op_name: str,
+                     node: Optional[str] = None) -> OperatorInstance:
+        """Create one new instance of ``op_name`` and wire all channels.
+
+        The new instance's input channels from predecessors and output
+        channels to successors are created immediately, but **no routing
+        table points at it yet** — the scaling controller flips routing
+        entries as part of its synchronization protocol.  The caller is
+        responsible for ``instance.start()`` after the provisioning delay.
+        """
+        spec = self.graph.operators[op_name]
+        index = len(self._instances[op_name])
+        node_spec = self.cluster.place(preferred=node)
+        cls = SourceInstance if spec.is_source else OperatorInstance
+        instance = cls(self.sim, self, spec, index, node_spec, self.metrics)
+        self._instances[op_name].append(instance)
+        spec.parallelism = len(self._instances[op_name])
+
+        # Channels from every predecessor instance.
+        for sender, edge in self.senders_to(op_name):
+            channel = self._connect(sender, edge, instance)
+            # The new channel inherits the sender's output watermark so it
+            # neither stalls nor prematurely advances the new instance.
+            channel.input_channel.watermark = sender.current_watermark
+        # Channels to every successor instance.
+        for edge_spec in self.graph.out_edges(op_name):
+            out_edge = OutputEdge(
+                name=edge_spec.name,
+                partitioning=edge_spec.partitioning,
+                num_key_groups=self.graph.num_key_groups,
+                sender_index=instance.index)
+            out_edge.dst_op = edge_spec.dst
+            for dst in self._instances[edge_spec.dst]:
+                self._connect(instance, out_edge, dst)
+            if edge_spec.partitioning is Partitioning.HASH:
+                assignment = self.assignments[edge_spec.dst]
+                for kg, owner in assignment.as_dict().items():
+                    out_edge.set_routing(kg, owner)
+            instance.router.add_edge(out_edge)
+        return instance
+
+    def remove_trailing_instances(self, op_name: str,
+                                  keep: int) -> List[OperatorInstance]:
+        """Decommission instances ``keep..`` of an operator (scale-in).
+
+        Must only be called once every key-group has migrated off the
+        removed instances and no data is routed to them: their feeding
+        channels are closed and dropped from every predecessor's edge, and
+        their own outgoing channels are closed.  Uniform repartitioning
+        always removes the *trailing* instances, so edge channel lists stay
+        index-aligned with instance indices.
+        """
+        instances = self._instances[op_name]
+        if keep < 1 or keep > len(instances):
+            raise ValueError(f"keep must be in [1, {len(instances)}]")
+        removed = instances[keep:]
+        if not removed:
+            return []
+        del instances[keep:]
+        self.graph.operators[op_name].parallelism = keep
+        for _sender, edge in self.senders_to(op_name):
+            for channel in edge.channels[keep:]:
+                channel.close()
+            del edge.channels[keep:]
+        for instance in removed:
+            instance.stop()
+            for channel in instance.router.all_channels():
+                channel.close()
+                # The receiver keeps the input channel (its queue may still
+                # hold valid pre-decommission output) but it must no longer
+                # hold back watermarks or end-of-stream alignment.
+                if channel.input_channel is not None:
+                    channel.input_channel.is_auxiliary = True
+                    channel.input_channel.watermark = float("inf")
+        return removed
+
+    def create_direct_channel(self, src: OperatorInstance,
+                              dst: OperatorInstance,
+                              name_suffix: str = "reroute") -> Channel:
+        """A dedicated runtime channel (re-routing / migration path).
+
+        The receiving input channel is excluded from watermark aggregation;
+        scaling handlers duplicate data-driven messages onto it explicitly
+        when required (§III-A, compatibility discussion).
+        """
+        link = self.cluster.link(src.node.name, dst.node.name)
+        channel = Channel(
+            self.sim, link,
+            name=f"{src.name}=>{dst.name}:{name_suffix}",
+            outbox_capacity=self.config.outbox_capacity,
+            inbox_capacity=self.config.inbox_capacity)
+        channel.sender = src
+        input_channel = dst.add_input_channel(name=channel.name)
+        input_channel.watermark = float("inf")  # never the min
+        input_channel.is_auxiliary = True
+        channel.attach(input_channel)
+        return channel
+
+    def link_between(self, a: OperatorInstance,
+                     b: OperatorInstance) -> LinkSpec:
+        return self.cluster.link(a.node.name, b.node.name)
+
+    # -- checkpoint support -------------------------------------------------------
+
+    def checkpoint_sync_cost(self, instance: OperatorInstance) -> float:
+        bytes_ = instance.state.total_bytes()
+        if bytes_ <= 0:
+            return 0.0
+        full = bytes_ / self.config.snapshot_bandwidth
+        return full * self.config.snapshot_sync_fraction
+
+    def note_snapshot(self, instance: OperatorInstance,
+                      barrier: CheckpointBarrier) -> None:
+        self._snapshots.append(
+            (self.sim.now, instance.name, barrier.checkpoint_id))
+        if self.snapshot_listener is not None:
+            self.snapshot_listener(instance, barrier)
+
+    @property
+    def snapshots(self) -> List[Tuple[float, str, int]]:
+        return list(self._snapshots)

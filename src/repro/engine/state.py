@@ -1,0 +1,170 @@
+"""Key-group partitioned state backend and state-transfer cost model.
+
+State is organised exactly as the mechanisms need it: per key-group, with a
+nominal byte size (drives transfer/snapshot costs) plus real per-key entries
+(drives correctness tests), and a status machine covering the migration
+lifecycle on both ends:
+
+=================  ==========================================================
+``LOCAL``          owned and active here; records may be processed.
+``PENDING_OUT``    selected for migration but not yet extracted; still
+                   processable (the paper's ``R4`` case in Fig. 4b).
+``MIGRATED_OUT``   extracted and shipped; records for it must be re-routed.
+``INCOMING``       expected here, bytes not yet arrived; records suspend.
+``INACTIVE``       bytes arrived but implicit alignment not achieved
+                   (the paper's ``S3`` inactive→active transition, Fig. 4d).
+=================  ==========================================================
+
+Sub-key-groups (used by the Meces baseline's Hierarchical State
+Organization) divide one key-group into equal slices that can be fetched
+independently.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "StateStatus",
+    "KeyGroupState",
+    "KeyedStateBackend",
+    "StateTransferCostModel",
+]
+
+
+class StateStatus(enum.Enum):
+    LOCAL = "local"
+    PENDING_OUT = "pending_out"
+    MIGRATED_OUT = "migrated_out"
+    INCOMING = "incoming"
+    INACTIVE = "inactive"
+
+
+@dataclass
+class KeyGroupState:
+    """All state of one key-group on one instance."""
+
+    key_group: int
+    status: StateStatus = StateStatus.LOCAL
+    size_bytes: float = 0.0
+    entries: Dict[Any, Any] = field(default_factory=dict)
+    #: Number of sub-key-groups (Meces hierarchical organisation); the
+    #: fraction of sub-groups locally present when partially fetched.
+    sub_groups_present: Optional[set] = None
+
+    @property
+    def processable(self) -> bool:
+        return self.status in (StateStatus.LOCAL, StateStatus.PENDING_OUT)
+
+
+class KeyedStateBackend:
+    """Per-instance keyed state store, organised by key-group."""
+
+    def __init__(self, bytes_per_entry: float = 256.0):
+        self.bytes_per_entry = bytes_per_entry
+        self._groups: Dict[int, KeyGroupState] = {}
+
+    # -- ownership ------------------------------------------------------------
+
+    def register_group(self, key_group: int,
+                       status: StateStatus = StateStatus.LOCAL,
+                       size_bytes: float = 0.0) -> KeyGroupState:
+        group = KeyGroupState(key_group=key_group, status=status,
+                              size_bytes=size_bytes)
+        self._groups[key_group] = group
+        return group
+
+    def group(self, key_group: int) -> Optional[KeyGroupState]:
+        return self._groups.get(key_group)
+
+    def require_group(self, key_group: int) -> KeyGroupState:
+        group = self._groups.get(key_group)
+        if group is None:
+            raise KeyError(f"key-group {key_group} not present")
+        return group
+
+    def drop_group(self, key_group: int) -> KeyGroupState:
+        return self._groups.pop(key_group)
+
+    def groups(self) -> List[KeyGroupState]:
+        return list(self._groups.values())
+
+    def owned_groups(self) -> List[int]:
+        return sorted(kg for kg, g in self._groups.items()
+                      if g.status in (StateStatus.LOCAL,
+                                      StateStatus.PENDING_OUT))
+
+    def has_processable(self, key_group: int) -> bool:
+        group = self._groups.get(key_group)
+        return group is not None and group.processable
+
+    # -- value access (used by operator logics) --------------------------------
+
+    def get(self, key_group: int, key: Any, default: Any = None) -> Any:
+        group = self._groups.get(key_group)
+        if group is None:
+            return default
+        return group.entries.get(key, default)
+
+    def put(self, key_group: int, key: Any, value: Any) -> None:
+        group = self._groups.get(key_group)
+        if group is None:
+            group = self.register_group(key_group)
+        if key not in group.entries:
+            group.size_bytes += self.bytes_per_entry
+        group.entries[key] = value
+
+    def delete(self, key_group: int, key: Any) -> None:
+        group = self._groups.get(key_group)
+        if group is not None and key in group.entries:
+            del group.entries[key]
+            group.size_bytes = max(0.0,
+                                   group.size_bytes - self.bytes_per_entry)
+
+    def add_bytes(self, key_group: int, delta: float) -> None:
+        """Adjust the nominal size of a key-group (window panes etc.)."""
+        group = self._groups.get(key_group)
+        if group is None:
+            group = self.register_group(key_group)
+        group.size_bytes = max(0.0, group.size_bytes + delta)
+
+    # -- aggregates -------------------------------------------------------------
+
+    def total_bytes(self) -> float:
+        return sum(g.size_bytes for g in self._groups.values())
+
+    def snapshot(self) -> Dict[int, KeyGroupState]:
+        """A structural copy for checkpoints (entries shared copy-on-write
+        is unnecessary in simulation; we copy dicts)."""
+        copied = {}
+        for kg, group in self._groups.items():
+            copied[kg] = KeyGroupState(
+                key_group=kg, status=group.status,
+                size_bytes=group.size_bytes,
+                entries=dict(group.entries),
+            )
+        return copied
+
+
+@dataclass
+class StateTransferCostModel:
+    """Costs that make up the paper's inherent overhead :math:`L_o`.
+
+    ``extract_seconds_per_group`` models state extraction + serialization
+    set-up per migration unit; bytes then move at the link bandwidth (shared
+    with data traffic is approximated by a dedicated fraction).
+    """
+
+    extract_seconds_per_group: float = 0.002
+    #: Fraction of link bandwidth state transfer may use (data keeps flowing).
+    bandwidth_fraction: float = 0.5
+    #: Fixed per-transfer handshake overhead (seconds).
+    handshake_seconds: float = 0.001
+
+    def transfer_seconds(self, size_bytes: float, bandwidth: float,
+                         latency: float) -> float:
+        effective = max(bandwidth * self.bandwidth_fraction, 1.0)
+        return (self.handshake_seconds + latency
+                + size_bytes / effective)

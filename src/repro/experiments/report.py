@@ -1,0 +1,110 @@
+"""Plain-text rendering of figure outputs (paper-vs-measured tables)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "format_fig10", "format_fig12", "format_fig13",
+           "format_fig14", "format_fig15", "format_fig02"]
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict], columns: Optional[List[str]] = None,
+                 title: str = "") -> str:
+    """Render dict-rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_fmt(row.get(col)) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(c[i]) for c in cells))
+              for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row_cells in cells:
+        lines.append("  ".join(c.ljust(w)
+                               for c, w in zip(row_cells, widths)))
+    return "\n".join(lines)
+
+
+def format_fig02(output: Dict) -> str:
+    rows = []
+    for name, ratio in output["ratios"].items():
+        rows.append({
+            "system": name,
+            "avg_latency_ratio_vs_noscale": ratio["avg_ratio"],
+            "peak_latency_ratio_vs_noscale": ratio["peak_ratio"],
+        })
+    table = format_table(
+        rows, title="Fig. 2 — Unbound probe (paper: OTFS 3.47x/4.8x, "
+                    "Unbound 1.25x/1.14x avg/peak vs No Scale)")
+    return table
+
+
+def format_fig10(output: Dict) -> str:
+    parts = [format_table(
+        output["rows"],
+        columns=["workload", "system", "peak_latency", "mean_latency",
+                 "pre_mean_latency", "scaling_period"],
+        title="Fig. 10 — end-to-end latency during scaling (seconds)")]
+    reduction_rows = []
+    for kind, per_other in output["reductions"].items():
+        for other, vals in per_other.items():
+            reduction_rows.append({
+                "workload": kind,
+                "drrs_vs": other,
+                "peak_reduction_pct": vals["peak_reduction_pct"],
+                "mean_reduction_pct": vals["mean_reduction_pct"],
+                "period_reduction_pct": vals["period_reduction_pct"],
+            })
+    parts.append(format_table(
+        reduction_rows,
+        title="DRRS reductions (paper: Q7 81.1/95.5/86, Q8 76.6/93.6/80.1 "
+              "vs Megaphone; Q7 80.3/94.2/82.7, Q8 62.8/88.2/72.8 vs Meces)"))
+    return "\n\n".join(parts)
+
+
+def format_fig12(output: Dict) -> str:
+    return format_table(
+        output["rows"],
+        title="Fig. 12 — cumulative propagation delay & average "
+              "dependency-related overhead (seconds)")
+
+
+def format_fig13(output: Dict) -> str:
+    return format_table(
+        output["rows"],
+        title="Fig. 13 — cumulative suspension time (seconds)")
+
+
+def format_fig14(output: Dict) -> str:
+    return format_table(
+        output["rows"],
+        title="Fig. 14 — mechanism isolation on Twitch (paper: DR +30/+22, "
+              "Schedule +18/+15, Subscale +23/+18 peak/avg % vs full DRRS)")
+
+
+def format_fig15(output: Dict) -> str:
+    return format_table(
+        output["rows"],
+        columns=["system", "skew", "rate", "state_bytes",
+                 "throughput_deviation_pct"],
+        title="Fig. 15 — throughput deviation (%) across "
+              "rate x state size x skew")

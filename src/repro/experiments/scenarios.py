@@ -1,0 +1,118 @@
+"""Canonical experiment scenarios for every figure, at two scales.
+
+``quick`` (the default everywhere, including the benchmark suite) keeps the
+paper's input rates, operator parallelism, key-group counts and state-size
+*ratios*, but shortens the protocol (warm-up/hold) and uses batch entities
+so the full suite runs on a laptop.  ``paper`` restores the §V-A timings
+(300 s warm-up, 100 s stabilization hold, full sensitivity grid); expect
+hours of wall-clock for the full set.
+
+EXPERIMENTS.md records which scale produced the committed numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List
+
+from ..workloads.custom import CustomConfig, CustomWorkload
+from ..workloads.nexmark import (NexmarkConfig, NexmarkQ7, NexmarkQ8,
+                                 NexmarkQ8Config)
+from ..workloads.twitch import TwitchConfig, TwitchWorkload
+
+__all__ = ["Scenario", "QUICK", "PAPER", "make_workload",
+           "SENSITIVITY_GRID_QUICK", "SENSITIVITY_GRID_PAPER"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Protocol timings and scale factors for one evaluation tier."""
+
+    name: str
+    warmup: float
+    post_duration: float
+    stabilize_hold: float
+    #: Multiplier on workload state-size calibration constants.
+    state_scale: float
+    #: Batch entities per simulated record (Q8 halves this internally).
+    batch_size: int
+    #: Sensitivity measurement window (paper: 600 s).
+    sensitivity_window: float
+    #: Scaling-operator parallelism before/after, main experiments (§V-B).
+    old_parallelism: int = 8
+    new_parallelism: int = 12
+    #: Sensitivity-analysis parallelism (§V-D).
+    sens_old_parallelism: int = 25
+    sens_new_parallelism: int = 30
+
+
+QUICK = Scenario(
+    name="quick",
+    warmup=30.0,
+    post_duration=150.0,
+    stabilize_hold=10.0,
+    state_scale=1.0,
+    batch_size=100,
+    sensitivity_window=60.0,
+)
+
+PAPER = Scenario(
+    name="paper",
+    warmup=300.0,
+    post_duration=600.0,
+    stabilize_hold=100.0,
+    state_scale=1.0,
+    batch_size=50,
+    sensitivity_window=600.0,
+)
+
+
+def make_workload(kind: str, scenario: Scenario = QUICK, **overrides):
+    """Build a workload configured for ``scenario``.
+
+    ``kind`` ∈ {"q7", "q8", "twitch", "custom"}.  ``overrides`` patch the
+    workload config after scenario scaling (used by the sensitivity sweep).
+    """
+    if kind == "q7":
+        config = NexmarkConfig(
+            batch_size=scenario.batch_size,
+            operator_parallelism=scenario.old_parallelism)
+        config.bytes_per_record *= scenario.state_scale
+        config = replace(config, **overrides)
+        return NexmarkQ7(config)
+    if kind == "q8":
+        config = NexmarkQ8Config(
+            operator_parallelism=scenario.old_parallelism)
+        config.bytes_per_record *= scenario.state_scale
+        config = replace(config, **overrides)
+        return NexmarkQ8(config)
+    if kind == "twitch":
+        config = TwitchConfig(
+            batch_size=scenario.batch_size,
+            operator_parallelism=scenario.old_parallelism)
+        config.bytes_per_record *= scenario.state_scale
+        config = replace(config, **overrides)
+        return TwitchWorkload(config)
+    if kind == "custom":
+        config = CustomConfig(
+            batch_size=scenario.batch_size,
+            operator_parallelism=scenario.sens_old_parallelism)
+        config.target_state_bytes *= scenario.state_scale
+        config = replace(config, **overrides)
+        return CustomWorkload(config)
+    raise ValueError(f"unknown workload kind: {kind!r}")
+
+
+#: §V-D sensitivity grid: input rates (tps) × state sizes (bytes) × skews.
+SENSITIVITY_GRID_PAPER: Dict[str, List[float]] = {
+    "rates": [5_000.0, 10_000.0, 15_000.0, 20_000.0],
+    "state_bytes": [5e9, 10e9, 20e9, 30e9],
+    "skews": [0.0, 0.5, 1.0, 1.5],
+}
+
+#: Reduced grid for the benchmark suite: grid corners + skew extremes.
+SENSITIVITY_GRID_QUICK: Dict[str, List[float]] = {
+    "rates": [5_000.0, 20_000.0],
+    "state_bytes": [5e9, 30e9],
+    "skews": [0.0, 1.5],
+}

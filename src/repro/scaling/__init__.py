@@ -1,0 +1,24 @@
+"""Scaling framework and baseline mechanisms (OTFS, Megaphone, Meces, ...)."""
+
+from .base import (MigrationAwareHandler, ScaleSignalBarrier,
+                   ScalingController, ScalingMetrics)
+from .megaphone import MegaphoneController
+from .meces import MecesController
+from .otfs import OTFSController
+from .plan import Migration, MigrationPlan
+from .stop_restart import StopRestartController
+from .unbound import UnboundController
+
+__all__ = [
+    "MigrationAwareHandler",
+    "ScaleSignalBarrier",
+    "ScalingController",
+    "ScalingMetrics",
+    "MegaphoneController",
+    "MecesController",
+    "OTFSController",
+    "Migration",
+    "MigrationPlan",
+    "StopRestartController",
+    "UnboundController",
+]

@@ -1,0 +1,455 @@
+"""Shared scaling-controller framework and instrumentation.
+
+Every mechanism (OTFS, Megaphone, Meces, Unbound, Stop-Restart, DRRS) is a
+:class:`ScalingController`; the base class provides the pieces they share —
+instance provisioning, state transfer with cost accounting, in-band signal
+dispatch, suspension bookkeeping — so each controller file reads as the
+paper's description of that mechanism.
+
+Instrumentation matches the paper's three decomposed overheads (§II-B):
+
+* cumulative **propagation delay** (:math:`L_p`): per scaling signal, the
+  interval from injection to the first state migration it triggers, summed;
+* average **dependency-related overhead** (:math:`L_d` proxy, Fig. 12): the
+  mean interval from a key-group's signal injection to the completion of its
+  migration;
+* cumulative **suspension time** (:math:`L_s`, Fig. 13): total time scaling
+  instances spend stalled on unprocessable-but-present input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..engine.operators import InputHandler, OperatorInstance
+from ..engine.records import ControlSignal, Record
+from ..engine.runtime import StreamJob
+from ..engine.state import StateStatus
+from .plan import MigrationPlan
+
+__all__ = [
+    "ScaleSignalBarrier",
+    "ScalingMetrics",
+    "ScalingController",
+    "MigrationAwareHandler",
+]
+
+
+@dataclass
+class ScaleSignalBarrier(ControlSignal):
+    """Conventional *coupled* scaling barrier (routing confirm + trigger).
+
+    Used by the generalized-OTFS, Megaphone-style and Meces-style baselines.
+    ``phase`` distinguishes Naive-Division batches.
+    """
+
+    scale_id: int = 0
+    phase: int = 0
+    #: key-group → new owner instance index, applied by predecessors.
+    routing_updates: Dict[int, int] = field(default_factory=dict)
+    size_bytes: float = 16.0
+
+    @property
+    def signal_key(self) -> Tuple[int, int]:
+        return (self.scale_id, self.phase)
+
+    @property
+    def is_time_signal(self) -> bool:
+        # Scheduling never reorders across a coupled scaling barrier.
+        return True
+
+
+class ScalingMetrics:
+    """Per-scaling-operation measurements (Figs. 12 and 13)."""
+
+    def __init__(self):
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.injections: Dict[Any, float] = {}
+        self.first_migration: Dict[Any, float] = {}
+        self.group_signal: Dict[int, Any] = {}
+        self.group_anchor: Dict[int, Any] = {}
+        self.migration_started: Dict[int, float] = {}
+        self.migration_completed: Dict[int, float] = {}
+        self.suspensions: List[Tuple[str, float, float]] = []
+        self.remigrations: int = 0
+        self.records_rerouted: int = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def begin(self, time: float) -> None:
+        self.started_at = time
+
+    def finish(self, time: float) -> None:
+        self.finished_at = time
+
+    def signal_injected(self, signal_id: Any, time: float) -> None:
+        """First injection time of a signal (multiple predecessors inject
+        the same signal; the earliest counts)."""
+        if signal_id not in self.injections or time < self.injections[signal_id]:
+            self.injections[signal_id] = time
+
+    def assign_group(self, key_group: int, signal_id: Any,
+                     anchor_id: Any = None) -> None:
+        """Bind a key-group to its triggering signal.
+
+        ``signal_id`` drives the propagation-delay attribution (which signal
+        this group's migration confirms).  ``anchor_id`` optionally anchors
+        the *dependency* measurement to an earlier signal: in Naive-Division
+        mechanisms every state unit logically waits on the chain started by
+        the first sub-reconfiguration, so dependency is measured from there.
+        """
+        self.group_signal[key_group] = signal_id
+        self.group_anchor[key_group] = (anchor_id if anchor_id is not None
+                                        else signal_id)
+
+    def note_migration_started(self, key_group: int, time: float) -> None:
+        if key_group not in self.migration_started:
+            self.migration_started[key_group] = time
+        signal_id = self.group_signal.get(key_group)
+        if signal_id is not None and signal_id not in self.first_migration:
+            self.first_migration[signal_id] = time
+
+    def note_migration_completed(self, key_group: int, time: float) -> None:
+        self.migration_completed[key_group] = time
+
+    def note_suspension(self, instance: OperatorInstance, start: float,
+                        end: float) -> None:
+        self.suspensions.append((instance.name, start, end))
+
+    def note_remigration(self, count: int = 1) -> None:
+        self.remigrations += count
+
+    def note_reroute(self, count: int = 1) -> None:
+        self.records_rerouted += count
+
+    # -- derived quantities (Fig. 12 / Fig. 13) ---------------------------------
+
+    def cumulative_propagation_delay(self) -> float:
+        total = 0.0
+        for signal_id, injected in self.injections.items():
+            started = self.first_migration.get(signal_id)
+            if started is not None:
+                total += max(0.0, started - injected)
+        return total
+
+    def average_dependency_overhead(self) -> float:
+        intervals = []
+        for kg, completed in self.migration_completed.items():
+            anchor_id = self.group_anchor.get(kg, self.group_signal.get(kg))
+            injected = self.injections.get(anchor_id)
+            if injected is not None:
+                intervals.append(max(0.0, completed - injected))
+        return sum(intervals) / len(intervals) if intervals else 0.0
+
+    def total_suspension(self) -> float:
+        return sum(end - start for _n, start, end in self.suspensions)
+
+    def suspension_series(self) -> List[Tuple[float, float]]:
+        """Cumulative suspension time, sampled at each interval end."""
+        cumulative = 0.0
+        series = []
+        for _name, start, end in sorted(self.suspensions,
+                                        key=lambda s: s[2]):
+            cumulative += end - start
+            series.append((end, cumulative))
+        return series
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+
+class MigrationAwareHandler(InputHandler):
+    """Input handler active on scaling instances during migration.
+
+    Encodes the paper's spectrum of record-delivery policies:
+
+    * ``scheduling=False`` — engine-faithful baseline: elements are delivered
+      in the engine's normal order; when the head element's state is
+      unavailable the task *commits* to that element and suspends (no legal
+      way to skip it).  This is the behaviour whose inefficiency motivates
+      Record Scheduling (§III-B).
+    * ``scheduling=True`` — Record Scheduling: inter-channel switching to any
+      processable channel, plus intra-channel bypassing of unprocessable
+      records within a bounded pre-serialization buffer, never crossing
+      time-semantics signals (watermarks, checkpoint barriers, coupled
+      scaling barriers).
+
+    Processability of a record is delegated to ``controller.record_ready``.
+    """
+
+    def __init__(self, instance: OperatorInstance, controller,
+                 scheduling: bool = False, buffer_size: int = 200):
+        super().__init__(instance)
+        self.controller = controller
+        self.scheduling = scheduling
+        self.buffer_size = buffer_size
+        self._cursor = 0
+        self._committed = None  # channel we are head-blocked on
+
+    # The element kinds a record may never be scheduled across.
+    @staticmethod
+    def _is_barrier_like(element) -> bool:
+        return element.is_time_signal
+
+    def _ready(self, element) -> bool:
+        if isinstance(element, Record):
+            return self.controller.record_ready(self.instance, element)
+        return True
+
+    def poll(self):
+        channels = self.instance.input_channels
+        if not channels:
+            self.suspended = False
+            return None
+
+        if not self.scheduling:
+            return self._poll_committed(channels)
+        return self._poll_scheduled(channels)
+
+    # -- no-scheduling baseline ---------------------------------------------------
+
+    def _poll_committed(self, channels):
+        if self._committed is not None:
+            channel = self._committed
+            head = channel.peek()
+            if head is None:
+                self._committed = None
+            elif self._ready(head):
+                self._committed = None
+                return channel, channel.pop()
+            else:
+                self.suspended = True
+                return None
+        n = len(channels)
+        saw_data = False
+        for offset in range(n):
+            channel = channels[(self._cursor + offset) % n]
+            if channel.blocked:
+                if channel.queue:
+                    saw_data = True
+                continue
+            head = channel.peek()
+            if head is None:
+                continue
+            self._cursor = (self._cursor + offset + 1) % n
+            if self._ready(head):
+                return channel, channel.pop()
+            # Commit: the engine delivered this element; we must wait for it.
+            self._committed = channel
+            self.suspended = True
+            return None
+        self.suspended = saw_data
+        return None
+
+    # -- Record Scheduling --------------------------------------------------------
+
+    def _poll_scheduled(self, channels):
+        n = len(channels)
+        saw_unprocessable = False
+        # Inter-channel: any processable head wins.
+        for offset in range(n):
+            channel = channels[(self._cursor + offset) % n]
+            if channel.blocked:
+                if channel.queue:
+                    saw_unprocessable = True
+                continue
+            head = channel.peek()
+            if head is None:
+                continue
+            if self._ready(head):
+                self._cursor = (self._cursor + offset + 1) % n
+                return channel, channel.pop()
+            saw_unprocessable = True
+        if not saw_unprocessable:
+            self.suspended = False
+            return None
+        # Intra-channel: bypass unprocessable records within the bounded
+        # buffer, never crossing a time-semantics signal.
+        scanned = 0
+        for offset in range(n):
+            channel = channels[(self._cursor + offset) % n]
+            if channel.blocked:
+                continue
+            for element in channel.queue:
+                scanned += 1
+                if scanned > self.buffer_size:
+                    break
+                if self._is_barrier_like(element):
+                    break  # cannot schedule across this signal
+                if self._ready(element):
+                    channel.remove(element)
+                    return channel, element
+            if scanned > self.buffer_size:
+                break
+        self.suspended = True
+        return None
+
+
+class ScalingController:
+    """Base class: lifecycle, provisioning, transfer and bookkeeping."""
+
+    name = "abstract"
+
+    def __init__(self, job: StreamJob, control_latency: float = 0.002):
+        self.job = job
+        self.sim = job.sim
+        #: Coordinator → worker command latency (control plane RPC).
+        self.control_latency = control_latency
+        self.metrics = ScalingMetrics()
+        self._scale_ids = 0
+        self.active = False
+        self._current_done = None
+
+    # -- public API -----------------------------------------------------------------
+
+    def request_rescale(self, op_name: str, new_parallelism: int):
+        """Start rescaling ``op_name``; returns an Event firing when done."""
+        spec = self.job.graph.operators[op_name]
+        if not spec.keyed:
+            raise ValueError(f"{op_name} is not a keyed (scalable) operator")
+        if new_parallelism < 1:
+            raise ValueError("new_parallelism must be >= 1")
+        if new_parallelism > self.job.graph.num_key_groups:
+            raise ValueError("parallelism cannot exceed num_key_groups")
+        if self.active:
+            raise RuntimeError(
+                "a scaling operation is already in flight; DRRSController "
+                "supports superseding it (§IV-B), other controllers do not")
+        current = self.job.assignments[op_name]
+        plan = MigrationPlan.uniform(op_name, current, new_parallelism)
+        self._scale_ids += 1
+        done = self.sim.event()
+        self._current_done = done
+        self.metrics = ScalingMetrics()
+        self.metrics.begin(self.sim.now)
+        self.active = True
+        self.sim.spawn(self._run_scale(op_name, plan, self._scale_ids, done),
+                       name=f"scale:{self.name}:{op_name}")
+        return done
+
+    def _run_scale(self, op_name, plan, scale_id, done):
+        self.job.scaling_active += 1
+        try:
+            yield from self._execute(op_name, plan, scale_id)
+        finally:
+            self.metrics.finish(self.sim.now)
+            self.active = False
+            self.job.signal_router = None
+            self.job.scaling_active -= 1
+            done.succeed(self.metrics)
+
+    def _execute(self, op_name: str, plan: MigrationPlan, scale_id: int):
+        raise NotImplementedError
+
+    # -- processability hook (used by MigrationAwareHandler) ----------------------------
+
+    def record_ready(self, instance: OperatorInstance,
+                     record: Record) -> bool:
+        """Whether ``record`` can be processed on ``instance`` right now."""
+        group = instance.state.group(record.key_group)
+        return group is not None and group.processable
+
+    # -- shared building blocks ----------------------------------------------------
+
+    def _provision(self, op_name: str, plan: MigrationPlan):
+        """Create, initialise and start the new instances (costs L_o)."""
+        new_instances = []
+        for _ in plan.new_instance_indices:
+            new_instances.append(self.job.add_instance(op_name))
+        if not new_instances:
+            return []  # scale-in / rebalance: nothing to provision
+        yield self.sim.timeout(self.job.config.instance_init_seconds)
+        for instance in new_instances:
+            instance.start()
+        return new_instances
+
+    def _attach_suspension_probes(self, instances):
+        for instance in instances:
+            instance.set_suspension_listener(self.metrics.note_suspension)
+
+    def _detach_suspension_probes(self, instances):
+        for instance in instances:
+            instance.set_suspension_listener(None)
+
+    def _install_handlers(self, instances, scheduling: bool,
+                          buffer_size: int = 200):
+        saved = {}
+        for instance in instances:
+            saved[instance] = instance.input_handler
+            instance.input_handler = MigrationAwareHandler(
+                instance, self, scheduling=scheduling,
+                buffer_size=buffer_size)
+            instance.wake.fire()
+        return saved
+
+    def _restore_handlers(self, saved) -> None:
+        for instance, handler in saved.items():
+            instance.input_handler = handler
+            instance.wake.fire()
+
+    def _wait_until_idle(self, instance: OperatorInstance, key_group: int):
+        """Wait until ``instance`` is not mid-record on ``key_group``."""
+        while instance.current_key_group == key_group:
+            yield self.sim.timeout(0.0001)
+
+    def _transfer_group(self, src: OperatorInstance, dst: OperatorInstance,
+                        key_group: int,
+                        arrival_status: StateStatus = StateStatus.LOCAL,
+                        charge_extract: bool = True):
+        """Extract one key-group at ``src``, ship it, register at ``dst``.
+
+        Leaves a ``MIGRATED_OUT`` stub at the source so input handlers can
+        recognise records that now belong elsewhere.
+        """
+        cost_model = self.job.config.transfer
+        yield from self._wait_until_idle(src, key_group)
+        if charge_extract and cost_model.extract_seconds_per_group > 0:
+            yield self.sim.timeout(cost_model.extract_seconds_per_group)
+        group = src.state.group(key_group)
+        if group is None:
+            raise KeyError(
+                f"{src.name} does not hold key-group {key_group}")
+        self.metrics.note_migration_started(key_group, self.sim.now)
+        entries = group.entries
+        size = group.size_bytes
+        sub_present = group.sub_groups_present
+        group.entries = {}
+        group.size_bytes = 0.0
+        group.status = StateStatus.MIGRATED_OUT
+        src.wake.fire()
+        link = self.job.link_between(src, dst)
+        gate = self.job.transfer_gate(src.node.name)
+        yield gate.acquire()
+        try:
+            yield self.sim.timeout(cost_model.transfer_seconds(
+                size, link.bandwidth, link.latency))
+        finally:
+            gate.release()
+        new_group = dst.state.group(key_group)
+        if new_group is None:
+            new_group = dst.state.register_group(key_group, arrival_status)
+        new_group.entries = entries
+        new_group.size_bytes = size
+        new_group.status = arrival_status
+        new_group.sub_groups_present = sub_present
+        self.metrics.note_migration_completed(key_group, self.sim.now)
+        dst.wake.fire()
+
+    def _finalize_assignment(self, op_name: str,
+                             plan: MigrationPlan) -> None:
+        """Commit the authoritative assignment after all migrations, and
+        decommission trailing instances on scale-in."""
+        self.job.assignments[op_name] = plan.target
+        # Drop MIGRATED_OUT stubs so post-scaling state is clean.
+        for instance in self.job.instances(op_name):
+            for group in list(instance.state.groups()):
+                if group.status is StateStatus.MIGRATED_OUT:
+                    instance.state.drop_group(group.key_group)
+        if plan.is_scale_in:
+            self.job.remove_trailing_instances(op_name,
+                                               plan.new_parallelism)

@@ -1,0 +1,114 @@
+"""The "Unbound" probe of §II-B: performance without correctness.
+
+Unbound updates routing tables and triggers state migration independently —
+no scaling-signal propagation — and converts record keys into "universal
+keys" so every local state may process any record, eliminating processing
+suspensions entirely.  It therefore removes :math:`L_p` and :math:`L_s` and
+hides :math:`L_d` from the latency signal, bounding how fast *any* correct
+mechanism could possibly be (Fig. 2).
+
+Correctness is intentionally violated: records may execute against missing
+or stale state.  Use only as an experimental lower bound.
+"""
+
+from __future__ import annotations
+
+from ..engine.state import StateStatus
+from .base import ScalingController
+
+__all__ = ["UnboundController"]
+
+
+class UnboundController(ScalingController):
+    """Lower-bound probe: instant routing flip, background migration."""
+
+    name = "unbound"
+
+    def record_ready(self, instance, record) -> bool:
+        # Universal keys: every record is processable everywhere.
+        return True
+
+    def _execute(self, op_name, plan, scale_id):
+        new_instances = yield from self._provision(op_name, plan)
+        instances = self.job.instances(op_name)
+        scaling_instances = (instances[:plan.old_parallelism]
+                             + new_instances)
+        self._attach_suspension_probes(scaling_instances)
+
+        # Routing tables flip instantly and out-of-band: no signals at all.
+        signal_id = (scale_id, 0)
+        self.metrics.signal_injected(signal_id, self.sim.now)
+        routing = plan.routing_updates()
+        for kg in routing:
+            self.metrics.assign_group(kg, signal_id)
+        for _sender, edge in self.job.senders_to(op_name):
+            for kg, dst in routing.items():
+                edge.set_routing(kg, dst)
+
+        # Universal keys at the new instances: pre-register empty LOCAL
+        # groups so any record can execute immediately (state or not).
+        for move in plan.moves:
+            dst = instances[move.dst_index]
+            if dst.state.group(move.key_group) is None:
+                dst.state.register_group(move.key_group, StateStatus.LOCAL)
+
+        # Background migration, fluid, one path at a time per source.
+        events = []
+        for src_index, moves in self._moves_by_src(plan).items():
+            src = instances[src_index]
+            events.append(self.sim.spawn(
+                self._migrate(src, moves, instances),
+                name=f"unbound-migrate:{src.name}"))
+        if events:
+            yield self.sim.all_of(events)
+        self._detach_suspension_probes(scaling_instances)
+        self._finalize_assignment(op_name, plan)
+
+    @staticmethod
+    def _moves_by_src(plan):
+        by_src = {}
+        for move in plan.moves:
+            by_src.setdefault(move.src_index, []).append(move)
+        return by_src
+
+    def _migrate(self, src, moves, instances):
+        for move in moves:
+            dst = instances[move.dst_index]
+            # Merge into the universal-key group instead of replacing it:
+            # the destination may already have processed records for it.
+            yield from self._transfer_merge(src, dst, move.key_group)
+
+    def _transfer_merge(self, src, dst, key_group):
+        cost_model = self.job.config.transfer
+        yield from self._wait_until_idle(src, key_group)
+        if cost_model.extract_seconds_per_group > 0:
+            yield self.sim.timeout(cost_model.extract_seconds_per_group)
+        group = src.state.group(key_group)
+        if group is None:
+            return
+        self.metrics.note_migration_started(key_group, self.sim.now)
+        entries, size = group.entries, group.size_bytes
+        group.entries = {}
+        group.size_bytes = 0.0
+        group.status = StateStatus.MIGRATED_OUT
+        link = self.job.link_between(src, dst)
+        gate = self.job.transfer_gate(src.node.name)
+        yield gate.acquire()
+        try:
+            yield self.sim.timeout(cost_model.transfer_seconds(
+                size, link.bandwidth, link.latency))
+        finally:
+            gate.release()
+        dst_group = dst.state.group(key_group)
+        if dst_group is None:
+            dst_group = dst.state.register_group(key_group,
+                                                 StateStatus.LOCAL)
+        # Stale-state hazard, accepted by design: destination-side updates
+        # made while the state was in flight win over migrated values.
+        merged = dict(entries)
+        merged.update(dst_group.entries)
+        dst_group.entries = merged
+        dst_group.size_bytes += size
+        dst_group.status = StateStatus.LOCAL
+        self.metrics.note_migration_completed(key_group, self.sim.now)
+        dst.wake.fire()

@@ -1,0 +1,19 @@
+"""Discrete-event simulation substrate: kernel, primitives, randomness."""
+
+from .kernel import Event, Interrupt, Process, SimulationError, Simulator
+from .primitives import BoundedStore, Semaphore, Signal
+from .randomness import ZipfSampler, exponential_interarrival, make_rng
+
+__all__ = [
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "BoundedStore",
+    "Semaphore",
+    "Signal",
+    "ZipfSampler",
+    "exponential_interarrival",
+    "make_rng",
+]

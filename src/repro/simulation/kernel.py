@@ -1,0 +1,349 @@
+"""Discrete-event simulation kernel.
+
+The kernel is a small, deterministic, generator-based process engine in the
+style of SimPy.  Simulated components are written as Python generators that
+``yield`` :class:`Event` objects; the kernel resumes a process when the event
+it waits on fires.  All state transitions happen at discrete simulated times
+drawn from a single event heap, so runs are fully reproducible: identical
+inputs produce identical traces.
+
+Example::
+
+    sim = Simulator()
+
+    def ping(sim, interval):
+        while True:
+            yield sim.timeout(interval)
+            print("ping at", sim.now)
+
+    sim.spawn(ping(sim, 1.0))
+    sim.run(until=5.0)
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Event",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Interrupt",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (double-firing events, time travel, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another component interrupts it.
+
+    The ``cause`` attribute carries an arbitrary payload describing why the
+    interruption happened (e.g. a scaling controller cancelling a wait).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Events start *pending*; calling :meth:`succeed` (or :meth:`fail`)
+    schedules all registered callbacks to run at the current simulated time.
+    An event may be waited on by any number of processes and may carry a
+    value, delivered as the result of the ``yield``.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered",
+                 "_processed", "_scheduled")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+        # True for events already on the heap with a future fire time
+        # (timeouts, call_at): they cannot be succeeded manually, but they
+        # have NOT fired yet — composites must wait for them.
+        self._scheduled = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed`/:meth:`fail` has been called."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (the event is fully in the past)."""
+        return self._processed
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event successfully, waking all waiters at ``sim.now``."""
+        if self._triggered or self._scheduled:
+            raise SimulationError("event already triggered or scheduled")
+        self._triggered = True
+        self._value = value
+        self._ok = True
+        self.sim._schedule_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Fire the event as a failure; waiters see the exception raised."""
+        if self._triggered or self._scheduled:
+            raise SimulationError("event already triggered or scheduled")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._value = exception
+        self._ok = False
+        self.sim._schedule_event(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback(event)``; runs immediately if already past."""
+        if self.callbacks is None:
+            # Already processed: run at the current time, preserving ordering
+            # relative to other same-time activity via the event heap.
+            immediate = Event(self.sim)
+            immediate.callbacks.append(lambda _ev: callback(self))
+            immediate._value = self._value
+            immediate._ok = self._ok
+            immediate._triggered = True
+            self.sim._schedule_event(immediate)
+        else:
+            self.callbacks.append(callback)
+
+    def _process(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "processed" if self._processed else (
+            "triggered" if self._triggered else "pending")
+        return f"<Event {state} value={self._value!r}>"
+
+
+class AnyOf(Event):
+    """Composite event that fires when the first of its children fires.
+
+    The value is the child event that fired first.  Used by components that
+    must react to whichever of several things happens first (e.g. "a record
+    arrived OR the migration completed").
+    """
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._children = list(events)
+        if not self._children:
+            raise SimulationError("AnyOf requires at least one child event")
+        for child in self._children:
+            if child.triggered:
+                self.succeed(child)
+                return
+            child.add_callback(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if not self.triggered:
+            self.succeed(child)
+
+
+class AllOf(Event):
+    """Composite event that fires once every child event has fired."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._children = list(events)
+        self._remaining = 0
+        for child in self._children:
+            if not child.triggered:
+                self._remaining += 1
+                child.add_callback(self._on_child)
+        if self._remaining == 0:
+            self.succeed([c.value for c in self._children])
+
+    def _on_child(self, _child: Event) -> None:
+        self._remaining -= 1
+        if self._remaining == 0 and not self.triggered:
+            self.succeed([c.value for c in self._children])
+
+
+class Process(Event):
+    """A running generator.  Also an event: fires when the generator ends.
+
+    Yield protocol: the generator must yield :class:`Event` instances.  When
+    the yielded event fires, the process resumes with the event's value (or
+    the exception, for failed events).
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator,
+                 name: str = ""):
+        super().__init__(sim)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Kick off the process at the current time.
+        start = Event(sim)
+        start._triggered = True
+        start.callbacks.append(self._resume)
+        sim._schedule_event(start)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        No-op if the process has already finished.
+        """
+        if self.triggered:
+            return
+        wake = Event(self.sim)
+        wake._triggered = True
+        wake._ok = False
+        wake._value = Interrupt(cause)
+        wake.callbacks.append(self._resume)
+        self.sim._schedule_event(wake)
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:  # finished while the wake-up was in flight
+            return
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self._generator.send(event.value)
+            else:
+                target = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # An un-caught interrupt terminates the process quietly.
+            self.succeed(None)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; "
+                "processes must yield Event instances")
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class Simulator:
+    """The event loop: owns simulated time and the pending-event heap."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+        self._event_count = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of kernel events processed so far (for diagnostics)."""
+        return self._event_count
+
+    # -- event construction ------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh pending event; fire it with ``.succeed(value)``."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that fires ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        ev = Event(self)
+        ev._scheduled = True
+        ev._value = value
+        heapq.heappush(self._heap, (self._now + delay, next(self._counter), ev))
+        return ev
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        """Fires when the first of ``events`` fires; value = that event."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """Fires when every event in ``events`` has fired."""
+        return AllOf(self, events)
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Run ``generator`` as a simulation process."""
+        return Process(self, generator, name=name)
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback()`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when}; now is {self._now}")
+        ev = Event(self)
+        ev._scheduled = True
+        ev.callbacks.append(lambda _e: callback())
+        heapq.heappush(self._heap, (when, next(self._counter), ev))
+
+    def call_in(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback()`` ``delay`` seconds from now."""
+        self.call_at(self._now + delay, callback)
+
+    # -- scheduling internals ----------------------------------------------
+
+    def _schedule_event(self, event: Event) -> None:
+        heapq.heappush(self._heap, (self._now, next(self._counter), event))
+
+    # -- execution -----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Process one event.  Returns False when the heap is empty."""
+        if not self._heap:
+            return False
+        when, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:
+            raise SimulationError("event heap went backwards in time")
+        self._now = when
+        self._event_count += 1
+        event._triggered = True
+        event._process()
+        return True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains or simulated time passes ``until``.
+
+        Returns the simulated time at which execution stopped.
+        """
+        if until is None:
+            while self.step():
+                pass
+            return self._now
+        while self._heap and self._heap[0][0] <= until:
+            self.step()
+        if self._now < until:
+            self._now = until
+        return self._now
+
+    def peek(self) -> float:
+        """Time of the next pending event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")

@@ -1,0 +1,31 @@
+"""Evaluation workloads: NEXMark Q7/Q8, synthetic Twitch, custom sensitivity."""
+
+from .base import Workload, WorkloadConfig, drive_source
+from .custom import CustomConfig, CustomWorkload
+from .nexmark import NexmarkConfig, NexmarkQ7, NexmarkQ8, NexmarkQ8Config
+from .nexmark_suite import (QUERIES, NexmarkQ1, NexmarkQ2, NexmarkQ3,
+                            NexmarkQ4, NexmarkQ5, NexmarkQ6,
+                            NexmarkSuiteConfig)
+from .twitch import TwitchConfig, TwitchWorkload
+
+__all__ = [
+    "Workload",
+    "WorkloadConfig",
+    "drive_source",
+    "CustomConfig",
+    "CustomWorkload",
+    "NexmarkConfig",
+    "QUERIES",
+    "NexmarkQ1",
+    "NexmarkQ2",
+    "NexmarkQ3",
+    "NexmarkQ4",
+    "NexmarkQ5",
+    "NexmarkQ6",
+    "NexmarkSuiteConfig",
+    "NexmarkQ7",
+    "NexmarkQ8",
+    "NexmarkQ8Config",
+    "TwitchConfig",
+    "TwitchWorkload",
+]

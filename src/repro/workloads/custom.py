@@ -1,0 +1,89 @@
+"""The 3-operator sensitivity workload (§V-A, §V-D).
+
+A generator, a keyed aggregator and a sink — "given that the major overhead
+of on-the-fly scaling occurs only in the scaling operator and its
+predecessors."  Internal data generation (no admission-queue modelling
+beyond the source's own) captures scaling-induced latency variations, and
+the three sensitivity axes are direct knobs:
+
+* ``rate`` — input rate (paper sweeps 5 K–20 K tps),
+* ``target_state_bytes`` — total keyed state at scale time (5–30 GB),
+* ``skew`` — Zipf skewness over keys (0.0 / 0.5 / 1.0 / 1.5).
+
+The Fig. 15 cluster setup uses 256 key-groups and 25 instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..engine.graph import JobGraph, OperatorSpec
+from ..engine.operators import KeyedReduceLogic
+from ..engine.routing import Partitioning
+from .base import Workload, WorkloadConfig, drive_source
+
+__all__ = ["CustomConfig", "CustomWorkload"]
+
+
+@dataclass
+class CustomConfig(WorkloadConfig):
+    """Defaults give the single-machine variant; Fig. 15 overrides."""
+
+    rate: float = 5_000.0
+    num_keys: int = 4000
+    skew: float = 0.0
+    num_key_groups: int = 256
+    source_parallelism: int = 2
+    operator_parallelism: int = 25
+    sink_parallelism: int = 1
+    #: Total keyed state at build time, spread uniformly over key-groups.
+    target_state_bytes: float = 5e9
+    #: Additional state bytes accrued per processed record.
+    state_bytes_per_record: float = 0.0
+    #: ~72 % utilisation of 25 instances at the top sweep rate (20 K tps).
+    source_service: float = 2e-6
+    aggregate_service: float = 9e-4
+    sink_service: float = 1e-6
+
+
+class CustomWorkload(Workload):
+    """generator → keyed aggregator → sink."""
+
+    name = "custom"
+    scaling_operator = "aggregator"
+
+    def __init__(self, config: Optional[CustomConfig] = None):
+        super().__init__(config or CustomConfig())
+
+    def build_graph(self) -> JobGraph:
+        cfg = self.config
+        graph = JobGraph(self.name, num_key_groups=cfg.num_key_groups)
+        graph.add_source("generator", parallelism=cfg.source_parallelism,
+                         service_time=cfg.source_service)
+        graph.add_operator(OperatorSpec(
+            name=self.scaling_operator,
+            logic_factory=lambda: KeyedReduceLogic(
+                lambda old, r: (old or 0) + r.count,
+                emit_updates=True,
+                state_bytes_per_record=cfg.state_bytes_per_record),
+            parallelism=cfg.operator_parallelism,
+            service_time=cfg.aggregate_service,
+            keyed=True,
+            initial_state_bytes_per_group=(cfg.target_state_bytes
+                                           / cfg.num_key_groups)))
+        graph.add_sink("sink", parallelism=cfg.sink_parallelism,
+                       service_time=cfg.sink_service)
+        graph.connect("generator", self.scaling_operator, Partitioning.HASH)
+        graph.connect(self.scaling_operator, "sink", Partitioning.REBALANCE)
+        return graph
+
+    def generators(self, job):
+        cfg = self.config
+        sources = job.instances("generator")
+        per_source = cfg.rate / len(sources)
+        for i, source in enumerate(sources):
+            yield drive_source(job, source, cfg, per_source,
+                               key_prefix="key-",
+                               emit_markers=(i == 0),
+                               rng_seed=cfg.seed + i)

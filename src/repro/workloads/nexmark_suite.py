@@ -1,0 +1,327 @@
+"""The wider NEXMark query suite (Q1-Q6), beyond the paper's Q7/Q8.
+
+The paper evaluates on Q7 and Q8; a library a downstream user would adopt
+should speak the whole benchmark.  These queries follow the standard
+NEXMark formulations adapted to the engine's operator set; every keyed
+query exposes a ``scaling_operator`` so any of them can drive a rescaling
+experiment.
+
+Queries:
+
+* **Q1 currency conversion** — stateless map over bids (price × 0.908).
+* **Q2 selection** — stateless filter of bids on a set of auctions.
+* **Q3 local item suggestion** — incremental join of persons and auctions
+  of selected sellers (keyed by seller).
+* **Q4 average closing price** — windowed max per auction, running average
+  per category.
+* **Q5 hot items** — sliding-window count per auction, windowed arg-max.
+* **Q6 average selling price by seller** — windowed max per auction,
+  running mean of the last wins per seller.
+
+The generator reuses the canonical person/auction/bid proportions
+(1 : 3 : 46) from :mod:`repro.workloads.nexmark`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..engine.graph import JobGraph, OperatorSpec
+from ..engine.operators import (FilterLogic, KeyedReduceLogic, MapLogic,
+                                OperatorLogic)
+from ..engine.routing import Partitioning
+from ..engine.windows import SlidingWindowAggregateLogic, WindowedJoinLogic
+from .base import Workload, WorkloadConfig, drive_source
+from .nexmark import AUCTION_PROPORTION, PERSON_PROPORTION
+
+__all__ = ["NexmarkSuiteConfig", "NexmarkQ1", "NexmarkQ2", "NexmarkQ3",
+           "NexmarkQ4", "NexmarkQ5", "NexmarkQ6", "QUERIES"]
+
+
+@dataclass
+class NexmarkSuiteConfig(WorkloadConfig):
+    """Shared knobs for the suite queries."""
+
+    rate: float = 10_000.0
+    num_keys: int = 1000          # auctions (or sellers, per query)
+    skew: float = 0.3
+    source_parallelism: int = 2
+    operator_parallelism: int = 4
+    sink_parallelism: int = 1
+    window_size: float = 10.0
+    window_slide: float = 2.0
+    bytes_per_record: float = 64.0
+    source_service: float = 2e-6
+    operator_service: float = 1e-4
+    sink_service: float = 1e-6
+    #: Fraction of bids surviving Q2's auction selection.
+    q2_selectivity: float = 0.1
+    #: NEXMark's dollar-to-euro factor for Q1.
+    q1_exchange_rate: float = 0.908
+    #: Number of categories for Q4.
+    num_categories: int = 16
+
+
+class _SuiteQuery(Workload):
+    """Shared scaffolding: bid-stream source → query body → sink."""
+
+    def __init__(self, config: Optional[NexmarkSuiteConfig] = None):
+        super().__init__(config or NexmarkSuiteConfig())
+
+    def _base_graph(self) -> JobGraph:
+        cfg = self.config
+        graph = JobGraph(self.name, num_key_groups=cfg.num_key_groups)
+        graph.add_source("bids-source", parallelism=cfg.source_parallelism,
+                         service_time=cfg.source_service)
+        graph.add_sink("sink", parallelism=cfg.sink_parallelism,
+                       collect=False, service_time=cfg.sink_service)
+        return graph
+
+    def generators(self, job):
+        cfg = self.config
+        sources = job.instances("bids-source")
+        per_source = cfg.rate / len(sources)
+
+        def bid(rng, auction_index):
+            return ("bid", auction_index, rng.randint(1, 10_000))
+
+        for i, source in enumerate(sources):
+            yield drive_source(job, source, cfg, per_source,
+                               make_value=bid, key_prefix="auction-",
+                               emit_markers=(i == 0),
+                               rng_seed=cfg.seed + i)
+
+
+class NexmarkQ1(_SuiteQuery):
+    """Q1: currency conversion — stateless map."""
+
+    name = "nexmark-q1"
+    scaling_operator = ""  # stateless: nothing to rescale statefully
+
+    def build_graph(self):
+        cfg = self.config
+        graph = self._base_graph()
+        rate = cfg.q1_exchange_rate
+        graph.add_operator(OperatorSpec(
+            "q1-convert",
+            logic_factory=lambda: MapLogic(
+                lambda r: r.copy_with(value=("bid-eur", r.value[1],
+                                             r.value[2] * rate))),
+            parallelism=cfg.operator_parallelism,
+            service_time=cfg.operator_service))
+        graph.connect("bids-source", "q1-convert", Partitioning.REBALANCE)
+        graph.connect("q1-convert", "sink", Partitioning.REBALANCE)
+        return graph
+
+
+class NexmarkQ2(_SuiteQuery):
+    """Q2: selection — keep bids on a subset of auctions."""
+
+    name = "nexmark-q2"
+    scaling_operator = ""
+
+    def build_graph(self):
+        cfg = self.config
+        graph = self._base_graph()
+        graph.add_operator(OperatorSpec(
+            "q2-filter",
+            logic_factory=lambda: FilterLogic(
+                pass_fraction=cfg.q2_selectivity),
+            parallelism=cfg.operator_parallelism,
+            service_time=cfg.operator_service))
+        graph.connect("bids-source", "q2-filter", Partitioning.REBALANCE)
+        graph.connect("q2-filter", "sink", Partitioning.REBALANCE)
+        return graph
+
+
+class NexmarkQ3(_SuiteQuery):
+    """Q3: local item suggestion — windowed join of persons ⋈ auctions of
+    selected sellers, keyed by seller."""
+
+    name = "nexmark-q3"
+    scaling_operator = "q3-join"
+
+    def build_graph(self):
+        cfg = self.config
+        graph = JobGraph(self.name, num_key_groups=cfg.num_key_groups)
+        graph.add_source("persons-source",
+                         parallelism=max(1, cfg.source_parallelism // 2),
+                         service_time=cfg.source_service)
+        graph.add_source("auctions-source",
+                         parallelism=max(1, cfg.source_parallelism // 2),
+                         service_time=cfg.source_service)
+        graph.add_operator(OperatorSpec(
+            self.scaling_operator,
+            logic_factory=lambda: WindowedJoinLogic(
+                size=cfg.window_size, slide=cfg.window_slide,
+                side_fn=lambda r: r.value[0],
+                bytes_per_record=cfg.bytes_per_record),
+            parallelism=cfg.operator_parallelism,
+            service_time=cfg.operator_service,
+            keyed=True))
+        graph.add_sink("sink", parallelism=cfg.sink_parallelism,
+                       service_time=cfg.sink_service)
+        graph.connect("persons-source", self.scaling_operator,
+                      Partitioning.HASH)
+        graph.connect("auctions-source", self.scaling_operator,
+                      Partitioning.HASH)
+        graph.connect(self.scaling_operator, "sink",
+                      Partitioning.REBALANCE)
+        return graph
+
+    def generators(self, job):
+        cfg = self.config
+        share = PERSON_PROPORTION / (PERSON_PROPORTION
+                                     + AUCTION_PROPORTION)
+        persons = job.instances("persons-source")
+        auctions = job.instances("auctions-source")
+        for i, source in enumerate(persons):
+            yield drive_source(job, source, cfg,
+                               cfg.rate * share / len(persons),
+                               make_value=lambda rng, k: ("left", k),
+                               key_prefix="seller-",
+                               emit_markers=(i == 0),
+                               rng_seed=cfg.seed + i)
+        for i, source in enumerate(auctions):
+            yield drive_source(job, source, cfg,
+                               cfg.rate * (1 - share) / len(auctions),
+                               make_value=lambda rng, k: ("right", k),
+                               key_prefix="seller-",
+                               emit_markers=False,
+                               rng_seed=cfg.seed + 50 + i)
+
+
+class _RunningCategoryAverage(OperatorLogic):
+    """Q4 stage 2: running average of closing prices per category."""
+
+    def on_record(self, record, instance):
+        kg = record.key_group
+        count, total = instance.state.get(kg, record.key, (0, 0.0))
+        price = record.value if isinstance(record.value, (int, float)) \
+            else 0.0
+        count += 1
+        total += price
+        instance.state.put(kg, record.key, (count, total))
+        return [record.copy_with(value=total / count)]
+
+
+class NexmarkQ4(_SuiteQuery):
+    """Q4: average closing price per category (two keyed stages)."""
+
+    name = "nexmark-q4"
+    scaling_operator = "q4-closing-price"
+
+    def build_graph(self):
+        cfg = self.config
+        graph = self._base_graph()
+        graph.add_operator(OperatorSpec(
+            self.scaling_operator,
+            logic_factory=lambda: SlidingWindowAggregateLogic(
+                size=cfg.window_size, slide=cfg.window_size,  # tumbling
+                agg_fn=lambda cur, r: max(cur or 0, r.value[2]),
+                bytes_per_record=cfg.bytes_per_record),
+            parallelism=cfg.operator_parallelism,
+            service_time=cfg.operator_service,
+            keyed=True))
+        categories = cfg.num_categories
+        graph.add_operator(OperatorSpec(
+            "q4-category-avg",
+            logic_factory=lambda: _RunningCategoryAverage(),
+            parallelism=max(2, cfg.operator_parallelism // 2),
+            service_time=cfg.operator_service,
+            keyed=True))
+        # window output keys are ("window", kg, start); re-key by category.
+        graph.add_operator(OperatorSpec(
+            "q4-categorize",
+            logic_factory=lambda: MapLogic(
+                lambda r: r.copy_with(
+                    key=f"category-{hash(r.key) % categories}",
+                    key_group=None)),
+            parallelism=2,
+            service_time=cfg.source_service))
+        graph.connect("bids-source", self.scaling_operator,
+                      Partitioning.HASH)
+        graph.connect(self.scaling_operator, "q4-categorize",
+                      Partitioning.REBALANCE)
+        graph.connect("q4-categorize", "q4-category-avg",
+                      Partitioning.HASH)
+        graph.connect("q4-category-avg", "sink", Partitioning.REBALANCE)
+        return graph
+
+
+class NexmarkQ5(_SuiteQuery):
+    """Q5: hot items — sliding-window bid count per auction."""
+
+    name = "nexmark-q5"
+    scaling_operator = "q5-count"
+
+    def build_graph(self):
+        cfg = self.config
+        graph = self._base_graph()
+        graph.add_operator(OperatorSpec(
+            self.scaling_operator,
+            logic_factory=lambda: SlidingWindowAggregateLogic(
+                size=cfg.window_size, slide=cfg.window_slide,
+                agg_fn=lambda cur, r: (cur or 0) + r.count,
+                bytes_per_record=cfg.bytes_per_record),
+            parallelism=cfg.operator_parallelism,
+            service_time=cfg.operator_service,
+            keyed=True))
+        graph.add_operator(OperatorSpec(
+            "q5-argmax",
+            logic_factory=lambda: KeyedReduceLogic(
+                lambda best, r: r.value if best is None
+                or r.value > best else best),
+            parallelism=1,
+            service_time=cfg.operator_service,
+            keyed=True))
+        graph.connect("bids-source", self.scaling_operator,
+                      Partitioning.HASH)
+        graph.connect(self.scaling_operator, "q5-argmax",
+                      Partitioning.HASH)
+        graph.connect("q5-argmax", "sink", Partitioning.FORWARD)
+        return graph
+
+
+class NexmarkQ6(_SuiteQuery):
+    """Q6: average selling price per seller (windowed max, running mean)."""
+
+    name = "nexmark-q6"
+    scaling_operator = "q6-wins"
+
+    def build_graph(self):
+        cfg = self.config
+        graph = self._base_graph()
+        graph.add_operator(OperatorSpec(
+            self.scaling_operator,
+            logic_factory=lambda: SlidingWindowAggregateLogic(
+                size=cfg.window_size, slide=cfg.window_size,
+                agg_fn=lambda cur, r: max(cur or 0, r.value[2]),
+                bytes_per_record=cfg.bytes_per_record),
+            parallelism=cfg.operator_parallelism,
+            service_time=cfg.operator_service,
+            keyed=True))
+        graph.add_operator(OperatorSpec(
+            "q6-seller-avg",
+            logic_factory=lambda: _RunningCategoryAverage(),
+            parallelism=max(2, cfg.operator_parallelism // 2),
+            service_time=cfg.operator_service,
+            keyed=True))
+        graph.connect("bids-source", self.scaling_operator,
+                      Partitioning.HASH)
+        graph.connect(self.scaling_operator, "q6-seller-avg",
+                      Partitioning.HASH)
+        graph.connect("q6-seller-avg", "sink", Partitioning.REBALANCE)
+        return graph
+
+
+#: Query name → workload class, for programmatic access.
+QUERIES = {
+    "q1": NexmarkQ1,
+    "q2": NexmarkQ2,
+    "q3": NexmarkQ3,
+    "q4": NexmarkQ4,
+    "q5": NexmarkQ5,
+    "q6": NexmarkQ6,
+}

@@ -1,0 +1,15 @@
+"""Pytest fixtures shared across the test suite."""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from helpers import build_keyed_job  # noqa: E402
+
+
+@pytest.fixture
+def keyed_job():
+    return build_keyed_job()

@@ -1,0 +1,114 @@
+"""Scaling-decision policies (the C0 integration point, §VII future work)."""
+
+import sys
+
+import pytest
+
+sys.path.insert(0, "tests")
+from helpers import (assert_assignment_consistent, build_keyed_job,
+                     drive)  # noqa: E402
+
+from repro.core.drrs import DRRSController
+from repro.core.policy import (BacklogPolicy, UserRequestPolicy,
+                               UtilizationPolicy)
+from repro.engine import Record
+
+
+def test_user_request_policy_fires_once_at_time():
+    job = build_keyed_job()
+    drive(job, until=25.0)
+    controller = DRRSController(job)
+    policy = UserRequestPolicy(job, controller, "agg", at=5.0,
+                               new_parallelism=4)
+    policy.start()
+    job.run(until=30.0)
+    assert policy.decisions == [(5.0, 4)]
+    assert len(job.instances("agg")) == 4
+    assert_assignment_consistent(job, "agg")
+
+
+def test_user_request_policy_can_be_stopped():
+    job = build_keyed_job()
+    drive(job, until=10.0)
+    controller = DRRSController(job)
+    policy = UserRequestPolicy(job, controller, "agg", at=5.0,
+                               new_parallelism=4)
+    policy.start()
+    job.run(until=2.0)
+    policy.stop()
+    job.run(until=10.0)
+    assert policy.decisions == []
+    assert len(job.instances("agg")) == 2
+
+
+def test_utilization_policy_scales_out_overloaded_operator():
+    # 2 instances at ~100 % utilisation (arrival ≈ 2.2× capacity).
+    job = build_keyed_job(agg_parallelism=2, agg_service=0.0022)
+    drive(job, until=120.0, record_gap=0.005, count=5)
+    controller = DRRSController(job)
+    policy = UtilizationPolicy(job, controller, "agg",
+                               high_threshold=0.85, target=0.6,
+                               interval=3.0, hold_samples=2,
+                               max_parallelism=8, cooldown=20.0)
+    policy.start()
+    job.run(until=120.0)
+    assert policy.decisions, "overload must trigger a scale-out"
+    assert len(job.instances("agg")) > 2
+    assert_assignment_consistent(job, "agg")
+
+
+def test_utilization_policy_stays_quiet_when_healthy():
+    job = build_keyed_job(agg_parallelism=2, agg_service=0.0002)
+    drive(job, until=40.0, record_gap=0.005, count=5)
+    controller = DRRSController(job)
+    policy = UtilizationPolicy(job, controller, "agg", interval=3.0,
+                               hold_samples=2)
+    policy.start()
+    job.run(until=40.0)
+    assert policy.decisions == []
+    assert len(job.instances("agg")) == 2
+
+
+def test_utilization_policy_validates_thresholds():
+    job = build_keyed_job()
+    controller = DRRSController(job)
+    with pytest.raises(ValueError):
+        UtilizationPolicy(job, controller, "agg", high_threshold=0.5,
+                          target=0.6)
+
+
+def test_backlog_policy_reacts_to_queue_growth():
+    job = build_keyed_job(agg_parallelism=2, agg_service=0.004)
+
+    def gen():
+        sources = job.sources()
+        i = 0
+        while job.sim.now < 90.0:
+            for s in sources:
+                s.offer(Record(key=f"k{i % 40}", event_time=job.sim.now,
+                               count=2))
+            i += 1
+            yield job.sim.timeout(0.004)
+
+    job.sim.spawn(gen())
+    controller = DRRSController(job)
+    policy = BacklogPolicy(job, controller, "agg", max_backlog=100,
+                           interval=3.0, hold_samples=2, step=2,
+                           cooldown=25.0)
+    policy.start()
+    job.run(until=90.0)
+    assert policy.decisions
+    assert len(job.instances("agg")) >= 4
+    assert_assignment_consistent(job, "agg")
+
+
+def test_policy_respects_max_parallelism():
+    job = build_keyed_job(agg_parallelism=2, agg_service=0.01)
+    drive(job, until=120.0, record_gap=0.004, count=5)
+    controller = DRRSController(job)
+    policy = UtilizationPolicy(job, controller, "agg", interval=3.0,
+                               hold_samples=2, max_parallelism=3,
+                               cooldown=10.0)
+    policy.start()
+    job.run(until=120.0)
+    assert len(job.instances("agg")) <= 3

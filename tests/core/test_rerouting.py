@@ -1,0 +1,132 @@
+"""Re-route Manager: order preservation and flush strategies (B4)."""
+
+import pytest
+
+from repro.core.barriers import ConfirmBarrier
+from repro.core.rerouting import ReRouteManager
+from repro.engine.channels import Channel, InputChannel
+from repro.engine.cluster import LinkSpec
+from repro.engine.records import Record
+from repro.simulation import Simulator
+
+
+class FakeInstance:
+    def __init__(self, sim):
+        from repro.simulation import Signal
+        self.sim = sim
+        self.wake = Signal(sim)
+
+
+def make_channel(sim):
+    channel = Channel(sim, LinkSpec(latency=0.0005, bandwidth=1e9),
+                      name="reroute", outbox_capacity=32, inbox_capacity=64)
+    inbox = InputChannel(FakeInstance(sim), name="in")
+    channel.attach(inbox)
+    return channel, inbox
+
+
+def drain(inbox):
+    out = []
+    while len(inbox):
+        out.append(inbox.pop())
+    return out
+
+
+def test_records_forwarded_in_order():
+    sim = Simulator()
+    channel, inbox = make_channel(sim)
+    manager = ReRouteManager(sim, channel, flush_capacity=4,
+                             flush_timeout=0.001)
+    records = [Record(key=i, key_group=0) for i in range(10)]
+    for r in records:
+        manager.forward_record(r)
+    sim.run(until=1.0)
+    assert drain(inbox) == records
+    assert manager.records_forwarded == 10
+
+
+def test_barrier_flushes_buffer_and_orders_after_records():
+    sim = Simulator()
+    channel, inbox = make_channel(sim)
+    # huge capacity + long timeout: only the barrier forces the flush
+    manager = ReRouteManager(sim, channel, flush_capacity=1000,
+                             flush_timeout=100.0)
+    records = [Record(key=i, key_group=0) for i in range(3)]
+    for r in records:
+        manager.forward_record(r)
+    barrier = ConfirmBarrier(subscale_id=7, predecessor_id=42,
+                             key_groups=(0,))
+    manager.forward_barrier(barrier)
+    sim.run(until=1.0)
+    out = drain(inbox)
+    assert out[:3] == records
+    assert isinstance(out[3], ConfirmBarrier)
+    assert out[3].rerouted is True
+    assert out[3].predecessor_id == 42
+    assert out[3].subscale_id == 7
+
+
+def test_capacity_based_flush():
+    sim = Simulator()
+    channel, inbox = make_channel(sim)
+    manager = ReRouteManager(sim, channel, flush_capacity=3,
+                             flush_timeout=100.0)
+    manager.forward_record(Record(key=1, key_group=0))
+    manager.forward_record(Record(key=2, key_group=0))
+    sim.run(until=1.0)
+    assert len(inbox) == 0  # below capacity, long timeout: held back
+    manager.forward_record(Record(key=3, key_group=0))
+    sim.run(until=2.0)
+    assert len(inbox) == 3  # capacity reached: flushed
+
+
+def test_timeout_based_flush():
+    sim = Simulator()
+    channel, inbox = make_channel(sim)
+    manager = ReRouteManager(sim, channel, flush_capacity=1000,
+                             flush_timeout=0.5)
+    manager.forward_record(Record(key=1, key_group=0))
+    sim.run(until=0.2)
+    assert len(inbox) == 0
+    sim.run(until=2.0)
+    assert len(inbox) == 1  # timeout elapsed
+
+
+def test_interleaved_records_and_barriers_preserve_relative_order():
+    sim = Simulator()
+    channel, inbox = make_channel(sim)
+    manager = ReRouteManager(sim, channel, flush_capacity=2,
+                             flush_timeout=0.001)
+    r1 = Record(key=1, key_group=0)
+    b1 = ConfirmBarrier(subscale_id=1, predecessor_id=1)
+    r2 = Record(key=2, key_group=0)
+    b2 = ConfirmBarrier(subscale_id=1, predecessor_id=2)
+    manager.forward_record(r1)
+    manager.forward_barrier(b1)
+    manager.forward_record(r2)
+    manager.forward_barrier(b2)
+    sim.run(until=1.0)
+    out = drain(inbox)
+    assert out[0] is r1
+    assert isinstance(out[1], ConfirmBarrier) and out[1].predecessor_id == 1
+    assert out[2] is r2
+    assert isinstance(out[3], ConfirmBarrier) and out[3].predecessor_id == 2
+
+
+def test_close_drains_remaining_buffer():
+    sim = Simulator()
+    channel, inbox = make_channel(sim)
+    manager = ReRouteManager(sim, channel, flush_capacity=1000,
+                             flush_timeout=100.0)
+    manager.forward_record(Record(key=1, key_group=0))
+    manager.close()
+    sim.run(until=1.0)
+    assert len(inbox) == 1
+    assert manager.pending == 0
+
+
+def test_rejects_bad_capacity():
+    sim = Simulator()
+    channel, _inbox = make_channel(sim)
+    with pytest.raises(ValueError):
+        ReRouteManager(sim, channel, flush_capacity=0)

@@ -1,0 +1,144 @@
+"""Record Scheduling scans: inter-/intra-channel policies (§III-B)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheduling import scan_inter_channel, scan_intra_channel
+from repro.engine.channels import InputChannel
+from repro.engine.records import CheckpointBarrier, Record, Watermark
+from repro.simulation import Simulator
+
+
+class FakeInstance:
+    def __init__(self, sim):
+        from repro.simulation import Signal
+        self.sim = sim
+        self.wake = Signal(sim)
+
+
+def channel_with(sim, elements):
+    ch = InputChannel(FakeInstance(sim), name="c")
+    for e in elements:
+        ch.queue.append(e)
+    return ch
+
+
+def rec(kg, key="k"):
+    return Record(key=key, key_group=kg)
+
+
+def ready_if(groups):
+    return lambda e: (not isinstance(e, Record)
+                      or e.key_group in groups)
+
+
+def test_inter_channel_picks_processable_head():
+    sim = Simulator()
+    blocked = channel_with(sim, [rec(1)])
+    open_ch = channel_with(sim, [rec(2)])
+    found, saw = scan_inter_channel([blocked, open_ch], ready_if({2}))
+    assert found is open_ch
+    assert saw is True
+
+
+def test_inter_channel_reports_idle():
+    sim = Simulator()
+    a = channel_with(sim, [])
+    b = channel_with(sim, [])
+    found, saw = scan_inter_channel([a, b], ready_if({1}))
+    assert found is None and saw is False
+
+
+def test_inter_channel_skips_blocked_channels():
+    sim = Simulator()
+    a = channel_with(sim, [rec(1)])
+    a.block("align")
+    b = channel_with(sim, [rec(1)])
+    found, saw = scan_inter_channel([a, b], ready_if({1}))
+    assert found is b
+    assert saw is True  # blocked-with-data counts as unprocessable
+
+
+def test_inter_channel_round_robin_start():
+    sim = Simulator()
+    a = channel_with(sim, [rec(1)])
+    b = channel_with(sim, [rec(1)])
+    found, _ = scan_inter_channel([a, b], ready_if({1}), start=1)
+    assert found is b
+
+
+def test_intra_channel_bypasses_unprocessable_record():
+    sim = Simulator()
+    ch = channel_with(sim, [rec(1), rec(2), rec(3)])
+    found = scan_intra_channel([ch], ready_if({2}), buffer_size=200)
+    assert found is not None
+    channel, element = found
+    assert element.key_group == 2
+
+
+def test_intra_channel_never_crosses_watermark():
+    sim = Simulator()
+    ch = channel_with(sim, [rec(1), Watermark(timestamp=5.0), rec(2)])
+    found = scan_intra_channel([ch], ready_if({2}), buffer_size=200)
+    assert found is None
+
+
+def test_intra_channel_never_crosses_checkpoint_barrier():
+    sim = Simulator()
+    ch = channel_with(sim, [rec(1), CheckpointBarrier(checkpoint_id=1),
+                            rec(2)])
+    assert scan_intra_channel([ch], ready_if({2}), buffer_size=200) is None
+
+
+def test_intra_channel_never_crosses_confirm_barrier():
+    from repro.core.barriers import ConfirmBarrier
+    sim = Simulator()
+    ch = channel_with(sim, [rec(1), ConfirmBarrier(subscale_id=0), rec(2)])
+    assert scan_intra_channel([ch], ready_if({2}), buffer_size=200) is None
+
+
+def test_intra_channel_respects_buffer_bound():
+    sim = Simulator()
+    ch = channel_with(sim, [rec(1)] * 50 + [rec(2)])
+    assert scan_intra_channel([ch], ready_if({2}), buffer_size=10) is None
+    found = scan_intra_channel([ch], ready_if({2}), buffer_size=200)
+    assert found is not None
+
+
+def test_intra_channel_skips_blocked_channels():
+    sim = Simulator()
+    ch = channel_with(sim, [rec(1), rec(2)])
+    ch.block("align")
+    assert scan_intra_channel([ch], ready_if({2}), buffer_size=200) is None
+
+
+@given(st.lists(st.tuples(st.integers(0, 5), st.booleans()),
+                min_size=0, max_size=30),
+       st.integers(1, 40))
+@settings(max_examples=100, deadline=None)
+def test_intra_channel_result_is_first_ready_before_any_signal(
+        items, buffer_size):
+    """Property: the returned record is the earliest ready record in the
+    channel that is not preceded by a time-semantics signal and within the
+    scan budget; otherwise None."""
+    sim = Simulator()
+    elements = []
+    for kg, is_signal in items:
+        elements.append(Watermark(timestamp=1.0) if is_signal else rec(kg))
+    ch = channel_with(sim, elements)
+    ready = ready_if({0, 1, 2})
+    found = scan_intra_channel([ch], ready, buffer_size=buffer_size)
+
+    expected = None
+    for i, e in enumerate(elements):
+        if i >= buffer_size:
+            break
+        if e.is_time_signal:
+            break
+        if ready(e):
+            expected = e
+            break
+    if expected is None:
+        assert found is None
+    else:
+        assert found is not None and found[1] is expected

@@ -1,0 +1,97 @@
+"""Metrics collection: latency stats, rate series, percentiles."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import MetricsCollector, percentile, series_mean, series_peak
+
+
+def test_latency_stats_window():
+    m = MetricsCollector()
+    for t, v in [(1.0, 0.1), (2.0, 0.2), (3.0, 0.3), (10.0, 9.9)]:
+        m.record_latency(t, v)
+    stats = m.latency_stats(start=0.0, end=5.0)
+    assert stats["count"] == 3
+    assert stats["peak"] == 0.3
+    assert stats["mean"] == pytest.approx(0.2)
+
+
+def test_latency_stats_empty():
+    stats = MetricsCollector().latency_stats()
+    assert stats == {"peak": 0.0, "mean": 0.0, "p50": 0.0, "p99": 0.0,
+                     "count": 0}
+
+
+def test_throughput_series_buckets():
+    m = MetricsCollector()
+    for t in (0.1, 0.2, 1.5, 1.6, 1.7):
+        m.record_source_output(t, 10)
+    series = m.throughput_series(window=1.0, start=0.0, end=3.0)
+    assert len(series) == 3
+    assert series[0] == (0.5, 20.0)
+    assert series[1] == (1.5, 30.0)
+    assert series[2] == (2.5, 0.0)
+
+
+def test_sink_rate_series_and_totals():
+    m = MetricsCollector()
+    m.record_sink_input(1.0, 5)
+    m.record_sink_input(2.0, 7)
+    assert m.total_sink_input() == 12
+    assert m.total_sink_input(start=1.5) == 7
+    assert m.sink_rate_series(window=1.0, end=3.0)[1][1] == 5.0
+
+
+def test_rate_series_rejects_bad_window():
+    m = MetricsCollector()
+    m.record_source_output(0.1, 1)
+    with pytest.raises(ValueError):
+        m.throughput_series(window=0)
+
+
+def test_custom_series():
+    m = MetricsCollector()
+    m.record_custom("backlog", 1.0, 5.0)
+    m.record_custom("backlog", 2.0, 7.0)
+    assert m.custom["backlog"] == [(1.0, 5.0), (2.0, 7.0)]
+
+
+def test_series_peak_and_mean():
+    series = [(1.0, 10.0), (2.0, 20.0), (3.0, 30.0)]
+    assert series_peak(series) == 30.0
+    assert series_mean(series) == 20.0
+    assert series_peak(series, start=0.0, end=2.5) == 20.0
+    assert series_mean([], 0, 1) == 0.0
+
+
+class TestPercentile:
+    def test_simple(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == pytest.approx(50.5)
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 100
+
+    def test_single_value(self):
+        assert percentile([42.0], 99) == 42.0
+
+    def test_rejects_empty_and_bad_pct(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200),
+           st.floats(0, 100))
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_by_min_max(self, values, pct):
+        p = percentile(values, pct)
+        assert min(values) - 1e-9 <= p <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=2, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_pct(self, values):
+        assert (percentile(values, 25) <= percentile(values, 50)
+                <= percentile(values, 90))

@@ -1,0 +1,47 @@
+"""Stream element types."""
+
+from repro.engine import (CheckpointBarrier, EndOfStream, LatencyMarker,
+                          Record, Watermark)
+from repro.engine.records import ControlSignal
+
+
+def test_record_defaults():
+    r = Record(key="a")
+    assert r.is_record
+    assert not r.is_time_signal
+    assert r.count == 1
+
+
+def test_record_ids_are_unique():
+    assert Record(key="a").record_id != Record(key="a").record_id
+
+
+def test_copy_with_overrides_selected_fields():
+    r = Record(key="a", key_group=3, event_time=1.0, value=10, count=5,
+               size_bytes=100.0, created_at=2.0)
+    c = r.copy_with(key="b", key_group=None)
+    assert c.key == "b" and c.key_group is None
+    assert c.event_time == 1.0 and c.value == 10 and c.count == 5
+    assert c.record_id != r.record_id
+
+
+def test_time_signal_classification():
+    assert Watermark(timestamp=1.0).is_time_signal
+    assert CheckpointBarrier(checkpoint_id=1).is_time_signal
+    assert not Record(key="a").is_time_signal
+    assert not LatencyMarker().is_time_signal
+    assert not EndOfStream().is_time_signal
+
+
+def test_marker_ids_unique():
+    assert LatencyMarker().marker_id != LatencyMarker().marker_id
+
+
+def test_control_signal_is_not_record():
+    assert not ControlSignal().is_record
+
+
+def test_sizes_are_positive():
+    for element in (Record(key="a"), Watermark(), LatencyMarker(),
+                    CheckpointBarrier(), EndOfStream()):
+        assert element.size_bytes > 0

@@ -1,0 +1,88 @@
+"""Timeline rendering and CSV/JSON export."""
+
+import csv
+import json
+import os
+
+import pytest
+
+from repro.experiments.timeline import (ascii_timeline, export_result,
+                                        series_to_csv)
+
+
+class TestAsciiTimeline:
+    def test_width_and_scaling(self):
+        series = [(float(i), float(i)) for i in range(100)]
+        strip = ascii_timeline(series, width=10, start=0, end=100)
+        assert len(strip) == 10
+        assert strip[-1] == "█"  # largest bucket saturates the scale
+
+    def test_empty_series(self):
+        assert ascii_timeline([]) == "(no data)"
+
+    def test_empty_window(self):
+        assert ascii_timeline([(1.0, 1.0)], start=5.0,
+                              end=5.0) == "(empty window)"
+
+    def test_mark_at(self):
+        series = [(float(i), 1.0) for i in range(100)]
+        strip = ascii_timeline(series, width=10, start=0, end=100,
+                               mark_at=55.0)
+        assert strip[5] == "|"
+
+    def test_mean_vs_max_aggregate(self):
+        # bucket 0 holds {0, 10}: max-normalized it ties bucket 1 (10),
+        # mean-normalized (5) it renders shorter than bucket 1.
+        series = [(0.2, 0.0), (0.3, 10.0), (0.7, 10.0)]
+        mx = ascii_timeline(series, width=2, start=0, end=1,
+                            aggregate="max")
+        mean = ascii_timeline(series, width=2, start=0, end=1,
+                              aggregate="mean")
+        assert mx == "██"
+        assert mean[0] != "█" and mean[1] == "█"
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ascii_timeline([(0.0, 1.0)], width=0)
+        with pytest.raises(ValueError):
+            ascii_timeline([(0.0, 1.0)], aggregate="median")
+
+
+def test_series_to_csv_roundtrip(tmp_path):
+    series = [(0.5, 1.25), (1.5, 2.5)]
+    path = tmp_path / "s.csv"
+    series_to_csv(series, str(path), header=("t", "v"))
+    with open(path) as f:
+        rows = list(csv.reader(f))
+    assert rows[0] == ["t", "v"]
+    assert float(rows[1][0]) == 0.5
+    assert float(rows[2][1]) == 2.5
+
+
+def test_export_result_writes_everything(tmp_path):
+    import sys
+    sys.path.insert(0, "tests")
+    from helpers import build_keyed_job, drive
+    from repro.experiments import ExperimentConfig, run_experiment
+    from repro.scaling import OTFSController
+    from repro.workloads import CustomConfig, CustomWorkload
+
+    workload = CustomWorkload(CustomConfig(
+        rate=2000.0, batch_size=100, num_key_groups=16,
+        operator_parallelism=2, target_state_bytes=1e7,
+        marker_interval=0.2))
+    result = run_experiment(ExperimentConfig(
+        workload=workload,
+        controller_factory=lambda job: OTFSController(job),
+        new_parallelism=3, warmup=4.0, post_duration=12.0,
+        stabilize_hold=3.0))
+    out_dir = tmp_path / "export"
+    written = export_result(result, str(out_dir))
+    names = {os.path.basename(p) for p in written}
+    assert names == {"latency.csv", "throughput.csv", "suspension.csv",
+                     "summary.json"}
+    with open(out_dir / "summary.json") as f:
+        summary = json.load(f)
+    assert summary["controller"] == "otfs"
+    assert summary["migration_duration"] > 0
+    assert summary["source_records"] > 0

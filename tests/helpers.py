@@ -1,0 +1,71 @@
+"""Shared pipeline builders used by tests and benchmarks."""
+
+from __future__ import annotations
+
+from repro.engine import (JobGraph, KeyedReduceLogic, LatencyMarker,
+                          OperatorSpec, Partitioning, Record, StreamJob,
+                          Watermark)
+from repro.engine.graph import OperatorSpec
+from repro.engine.runtime import JobConfig
+
+
+def build_keyed_job(num_key_groups: int = 16,
+                    source_parallelism: int = 2,
+                    agg_parallelism: int = 2,
+                    agg_service: float = 0.0004,
+                    state_bytes_per_group: float = 2e6,
+                    collect: bool = False,
+                    job_config: JobConfig = None) -> StreamJob:
+    """source → keyed sum → sink, the canonical scaling test pipeline."""
+    graph = JobGraph("test-job", num_key_groups=num_key_groups)
+    graph.add_source("src", parallelism=source_parallelism,
+                     service_time=0.00005)
+    graph.add_operator(OperatorSpec(
+        "agg",
+        logic_factory=lambda: KeyedReduceLogic(
+            lambda old, r: (old or 0) + r.count),
+        parallelism=agg_parallelism,
+        service_time=agg_service,
+        keyed=True,
+        initial_state_bytes_per_group=state_bytes_per_group))
+    graph.add_sink("sink", collect=collect)
+    graph.connect("src", "agg", Partitioning.HASH)
+    graph.connect("agg", "sink", Partitioning.FORWARD)
+    return StreamJob(graph, config=job_config).build()
+
+
+def drive(job: StreamJob, until: float, record_gap: float = 0.005,
+          keys: int = 40, count: int = 5, marker_every: int = 5,
+          watermark_every: int = 20):
+    """Deterministic generator: round-robin keys at a fixed rate."""
+    def gen():
+        sources = job.sources()
+        i = 0
+        while job.sim.now < until:
+            for s in sources:
+                s.offer(Record(key=f"k{i % keys}", event_time=job.sim.now,
+                               count=count))
+            if marker_every and i % marker_every == 0:
+                sources[0].offer(LatencyMarker(key=f"k{i % keys}"))
+            if watermark_every and i % watermark_every == 0:
+                for s in sources:
+                    s.offer(Watermark(timestamp=job.sim.now))
+            i += 1
+            yield job.sim.timeout(record_gap)
+    job.sim.spawn(gen(), name="test-driver")
+    return job
+
+
+def assert_assignment_consistent(job: StreamJob, op_name: str) -> None:
+    """Post-scaling invariant: every key-group lives exactly where the
+    authoritative assignment says, and nowhere else (processable)."""
+    assignment = job.assignments[op_name]
+    instances = job.instances(op_name)
+    for kg, owner in assignment.as_dict().items():
+        assert instances[owner].state.has_processable(kg), (
+            f"kg {kg} missing at declared owner {owner}")
+        for other in instances:
+            if other.index != owner:
+                group = other.state.group(kg)
+                assert group is None or not group.processable, (
+                    f"kg {kg} duplicated on instance {other.index}")

@@ -1,0 +1,98 @@
+"""ScalingMetrics: the Fig. 12/13 quantities in isolation."""
+
+import pytest
+
+from repro.scaling import ScalingMetrics
+
+
+class FakeInstance:
+    def __init__(self, name):
+        self.name = name
+
+
+def test_propagation_delay_sums_per_signal():
+    m = ScalingMetrics()
+    m.signal_injected("s1", 10.0)
+    m.signal_injected("s2", 20.0)
+    m.assign_group(1, "s1")
+    m.assign_group(2, "s2")
+    m.note_migration_started(1, 10.5)   # s1: 0.5
+    m.note_migration_started(2, 22.0)   # s2: 2.0
+    assert m.cumulative_propagation_delay() == pytest.approx(2.5)
+
+
+def test_first_injection_wins():
+    m = ScalingMetrics()
+    m.signal_injected("s", 10.0)
+    m.signal_injected("s", 9.0)   # another predecessor, earlier
+    m.signal_injected("s", 11.0)  # later: ignored
+    assert m.injections["s"] == 9.0
+
+
+def test_first_migration_only_counts_once_per_signal():
+    m = ScalingMetrics()
+    m.signal_injected("s", 10.0)
+    m.assign_group(1, "s")
+    m.assign_group(2, "s")
+    m.note_migration_started(1, 11.0)
+    m.note_migration_started(2, 15.0)  # not the first of the signal
+    assert m.cumulative_propagation_delay() == pytest.approx(1.0)
+
+
+def test_dependency_uses_anchor_when_given():
+    m = ScalingMetrics()
+    m.signal_injected("phase0", 10.0)
+    m.signal_injected("phase1", 30.0)
+    m.assign_group(1, "phase0", anchor_id="phase0")
+    m.assign_group(2, "phase1", anchor_id="phase0")  # Naive-Division chain
+    m.note_migration_completed(1, 12.0)   # 2 from phase0
+    m.note_migration_completed(2, 34.0)   # 24 from phase0 (not 4!)
+    assert m.average_dependency_overhead() == pytest.approx((2 + 24) / 2)
+
+
+def test_dependency_defaults_to_own_signal():
+    m = ScalingMetrics()
+    m.signal_injected("a", 10.0)
+    m.assign_group(1, "a")
+    m.note_migration_completed(1, 13.0)
+    assert m.average_dependency_overhead() == pytest.approx(3.0)
+
+
+def test_suspension_accounting_and_series():
+    m = ScalingMetrics()
+    m.note_suspension(FakeInstance("i0"), 1.0, 2.0)
+    m.note_suspension(FakeInstance("i1"), 1.5, 4.0)
+    m.note_suspension(FakeInstance("i0"), 5.0, 5.5)
+    assert m.total_suspension() == pytest.approx(4.0)
+    series = m.suspension_series()
+    assert [t for t, _v in series] == [2.0, 4.0, 5.5]
+    values = [v for _t, v in series]
+    assert values == sorted(values)
+    assert values[-1] == pytest.approx(4.0)
+
+
+def test_duration_requires_both_stamps():
+    m = ScalingMetrics()
+    assert m.duration is None
+    m.begin(5.0)
+    assert m.duration is None
+    m.finish(12.0)
+    assert m.duration == pytest.approx(7.0)
+
+
+def test_remigration_and_reroute_counters():
+    m = ScalingMetrics()
+    m.note_remigration()
+    m.note_remigration(3)
+    m.note_reroute(100)
+    assert m.remigrations == 4
+    assert m.records_rerouted == 100
+
+
+def test_migration_started_is_idempotent():
+    m = ScalingMetrics()
+    m.signal_injected("s", 0.0)
+    m.assign_group(1, "s")
+    m.note_migration_started(1, 5.0)
+    m.note_migration_started(1, 9.0)   # e.g. a re-migration
+    assert m.migration_started[1] == 5.0

@@ -1,0 +1,114 @@
+"""Mechanism-specific behaviours: Unbound's documented correctness
+violation and Megaphone's Naive-Division phase structure."""
+
+import sys
+
+sys.path.insert(0, "tests")
+from helpers import build_keyed_job, drive  # noqa: E402
+
+from repro.engine import (JobGraph, KeyedReduceLogic, OperatorSpec,
+                          Partitioning, Record, StreamJob)
+from repro.scaling import MegaphoneController, UnboundController
+
+
+def test_unbound_violates_per_key_history_under_load():
+    """Unbound processes records against missing state ("universal keys");
+    with enough in-flight traffic the per-key history breaks — exactly why
+    the paper uses it only as a lower-bound probe (§II-B)."""
+    graph = JobGraph("unbound-violation", num_key_groups=8)
+    graph.add_source("src", parallelism=1)
+    graph.add_operator(OperatorSpec(
+        "agg",
+        logic_factory=lambda: KeyedReduceLogic(
+            lambda old, r: (old or ()) + (r.value,)),
+        parallelism=2, service_time=0.01, keyed=True,
+        initial_state_bytes_per_group=5e6))
+    graph.add_sink("sink", collect=True)
+    graph.connect("src", "agg", Partitioning.HASH)
+    graph.connect("agg", "sink", Partitioning.FORWARD)
+    job = StreamJob(graph).build()
+
+    counters = {}
+
+    def gen():
+        src = job.sources()[0]
+        i = 0
+        while job.sim.now < 25.0:
+            key = f"k{i % 24}"
+            seq = counters.get(key, 0)
+            counters[key] = seq + 1
+            src.offer(Record(key=key, event_time=job.sim.now, value=seq,
+                             count=1))
+            i += 1
+            yield job.sim.timeout(0.004)
+
+    job.sim.spawn(gen())
+    job.run(until=3.0)  # deep backlog builds (service ≫ arrival)
+    controller = UnboundController(job)
+    done = controller.request_rescale("agg", 4)
+    job.run(until=80.0)
+    assert done.triggered
+    last = {}
+    for record in job.sink_logic().collected:
+        last[record.key] = record.value
+    corrupted = [key for key, total in counters.items()
+                 if last.get(key) != tuple(range(total))]
+    assert corrupted, ("Unbound should corrupt some per-key history under "
+                       "load — if this starts passing, the probe is no "
+                       "longer bypassing correctness")
+
+
+def test_megaphone_batch_size_controls_signal_count():
+    for batch_size, expected_min in ((2, 6), (8, 2)):
+        job = build_keyed_job(num_key_groups=16, agg_parallelism=2)
+        drive(job, until=25.0)
+        job.run(until=5.0)
+        controller = MegaphoneController(job, batch_size=batch_size)
+        done = controller.request_rescale("agg", 4)
+        job.run(until=30.0)
+        assert done.triggered
+        signals = len(controller.metrics.injections)
+        assert signals >= expected_min
+        moves = len(controller.metrics.migration_completed)
+        import math
+        assert signals == math.ceil(moves / batch_size)
+
+
+def test_megaphone_phases_are_sequential():
+    """Naive Division: phase k+1's signal is injected only after phase k's
+    batch finished migrating — the linear dependency chain of Fig. 7a."""
+    job = build_keyed_job(num_key_groups=16, agg_parallelism=2,
+                          state_bytes_per_group=4e6)
+    drive(job, until=40.0)
+    job.run(until=5.0)
+    controller = MegaphoneController(job, batch_size=4)
+    done = controller.request_rescale("agg", 4)
+    job.run(until=45.0)
+    assert done.triggered
+    m = controller.metrics
+    phases = sorted(m.injections)  # (scale_id, phase) tuples
+    for earlier, later in zip(phases, phases[1:]):
+        batch_done = max(
+            m.migration_completed[kg]
+            for kg, sig in m.group_signal.items() if sig == earlier)
+        assert m.injections[later] >= batch_done, (
+            f"phase {later} injected before {earlier} completed")
+
+
+def test_megaphone_dependency_grows_along_the_chain():
+    job = build_keyed_job(num_key_groups=16, agg_parallelism=2,
+                          state_bytes_per_group=4e6)
+    drive(job, until=40.0)
+    job.run(until=5.0)
+    controller = MegaphoneController(job, batch_size=2)
+    done = controller.request_rescale("agg", 4)
+    job.run(until=45.0)
+    assert done.triggered
+    m = controller.metrics
+    # Completion times ordered by phase: later phases complete later.
+    by_phase = {}
+    for kg, sig in m.group_signal.items():
+        by_phase.setdefault(sig[1], []).append(m.migration_completed[kg])
+    phases = sorted(by_phase)
+    lasts = [max(by_phase[p]) for p in phases]
+    assert lasts == sorted(lasts)

@@ -1,0 +1,237 @@
+"""Kernel semantics: time, ordering, events, processes."""
+
+import pytest
+
+from repro.simulation import (Event, Interrupt, SimulationError, Simulator)
+
+
+def test_time_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_time():
+    sim = Simulator()
+    fired = []
+
+    def proc():
+        yield sim.timeout(1.5)
+        fired.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert fired == [1.5]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+    for i in range(5):
+        sim.call_at(1.0, lambda i=i: order.append(i))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-0.1)
+
+
+def test_event_succeed_delivers_value():
+    sim = Simulator()
+    ev = sim.event()
+    got = []
+
+    def waiter():
+        value = yield ev
+        got.append(value)
+
+    sim.spawn(waiter())
+    sim.call_at(2.0, lambda: ev.succeed("payload"))
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_event_double_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield ev
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(waiter())
+    sim.call_at(1.0, lambda: ev.fail(ValueError("boom")))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_multiple_waiters_all_wake():
+    sim = Simulator()
+    ev = sim.event()
+    woke = []
+
+    def waiter(i):
+        yield ev
+        woke.append(i)
+
+    for i in range(3):
+        sim.spawn(waiter(i))
+    sim.call_at(1.0, lambda: ev.succeed())
+    sim.run()
+    assert sorted(woke) == [0, 1, 2]
+
+
+def test_callback_on_processed_event_runs_immediately():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("late")
+    sim.run()
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    sim.run()
+    assert seen == ["late"]
+
+
+def test_run_until_stops_at_time():
+    sim = Simulator()
+    fired = []
+
+    def proc():
+        while True:
+            yield sim.timeout(1.0)
+            fired.append(sim.now)
+
+    sim.spawn(proc())
+    end = sim.run(until=3.5)
+    assert end == 3.5
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_process_completion_is_waitable():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(2.0)
+        return "done"
+
+    def parent():
+        result = yield sim.spawn(child())
+        assert result == "done"
+        assert sim.now == 2.0
+
+    p = sim.spawn(parent())
+    sim.run()
+    assert p.triggered
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    results = []
+
+    def proc():
+        first = yield sim.any_of([sim.timeout(5.0, "slow"),
+                                  sim.timeout(1.0, "fast")])
+        results.append((sim.now, first.value))
+
+    sim.spawn(proc())
+    sim.run()
+    assert results == [(1.0, "fast")]
+
+
+def test_all_of_waits_for_every_child():
+    sim = Simulator()
+    results = []
+
+    def proc():
+        yield sim.all_of([sim.timeout(5.0), sim.timeout(1.0)])
+        results.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert results == [5.0]
+
+
+def test_interrupt_wakes_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as intr:
+            log.append(("interrupted", sim.now, intr.cause))
+
+    proc = sim.spawn(sleeper())
+    sim.call_at(3.0, lambda: proc.interrupt("stop"))
+    sim.run()
+    assert log == [("interrupted", 3.0, "stop")]
+
+
+def test_interrupt_after_completion_is_noop():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+
+    proc = sim.spawn(quick())
+    sim.run()
+    proc.interrupt("late")
+    sim.run()
+    assert proc.triggered
+
+
+def test_yielding_non_event_raises():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    sim.spawn(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_call_at_past_raises():
+    sim = Simulator()
+    sim.call_at(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(1.0, lambda: None)
+
+
+def test_peek_returns_next_event_time():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    sim.call_at(4.0, lambda: None)
+    assert sim.peek() == 4.0
+
+
+def test_determinism_same_program_same_trace():
+    def run_once():
+        sim = Simulator()
+        trace = []
+
+        def proc(name, gap):
+            while sim.now < 10:
+                yield sim.timeout(gap)
+                trace.append((round(sim.now, 6), name))
+
+        sim.spawn(proc("a", 0.7))
+        sim.spawn(proc("b", 1.1))
+        sim.run(until=10)
+        return trace
+
+    assert run_once() == run_once()

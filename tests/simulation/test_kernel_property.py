@@ -1,0 +1,122 @@
+"""Property-based kernel tests: ordering, composites, determinism."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation import Simulator
+
+
+@given(delays=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_timers_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for i, delay in enumerate(delays):
+        sim.call_at(delay, lambda d=delay: fired.append((sim.now, d)))
+    sim.run()
+    times = [t for t, _d in fired]
+    assert times == sorted(times)
+    assert len(fired) == len(delays)
+    for now, delay in fired:
+        assert now == delay
+
+
+@given(delays=st.lists(st.floats(0.0, 50.0), min_size=1, max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_any_of_fires_at_minimum_delay(delays):
+    sim = Simulator()
+    observed = []
+
+    def proc():
+        first = yield sim.any_of([sim.timeout(d, d) for d in delays])
+        observed.append((sim.now, first.value))
+
+    sim.spawn(proc())
+    sim.run()
+    now, value = observed[0]
+    assert now == min(delays)
+    assert value == min(delays)
+
+
+@given(delays=st.lists(st.floats(0.0, 50.0), min_size=1, max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_all_of_fires_at_maximum_delay(delays):
+    sim = Simulator()
+    observed = []
+
+    def proc():
+        yield sim.all_of([sim.timeout(d) for d in delays])
+        observed.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert observed == [max(delays)]
+
+
+@given(gaps=st.lists(st.floats(0.001, 2.0), min_size=1, max_size=30),
+       seed=st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_identical_programs_produce_identical_traces(gaps, seed):
+    def run_once():
+        sim = Simulator()
+        trace = []
+
+        def proc(name, sequence):
+            for gap in sequence:
+                yield sim.timeout(gap)
+                trace.append((round(sim.now, 9), name))
+
+        sim.spawn(proc("a", gaps))
+        sim.spawn(proc("b", list(reversed(gaps))))
+        sim.run()
+        return trace, sim.events_processed
+
+    first = run_once()
+    second = run_once()
+    assert first == second
+
+
+@given(n_waiters=st.integers(1, 20), fire_at=st.floats(0.0, 10.0))
+@settings(max_examples=50, deadline=None)
+def test_signal_wakes_every_waiter_exactly_once(n_waiters, fire_at):
+    from repro.simulation import Signal
+
+    sim = Simulator()
+    signal = Signal(sim)
+    wakes = []
+
+    def waiter(i):
+        yield signal.wait()
+        wakes.append(i)
+
+    for i in range(n_waiters):
+        sim.spawn(waiter(i))
+    sim.call_at(fire_at, signal.fire)
+    sim.run()
+    assert sorted(wakes) == list(range(n_waiters))
+
+
+@given(capacity=st.integers(1, 10),
+       items=st.lists(st.integers(), min_size=1, max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_bounded_store_is_lossless_fifo(capacity, items):
+    from repro.simulation import BoundedStore
+
+    sim = Simulator()
+    store = BoundedStore(sim, capacity=capacity)
+    received = []
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+
+    def consumer():
+        for _ in items:
+            value = yield store.get()
+            received.append(value)
+            yield sim.timeout(0.01)
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    assert received == items

@@ -1,0 +1,61 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig10" in out and "drrs" in out and "twitch" in out
+
+
+def test_every_figure_is_registered():
+    assert set(FIGURES) == {"fig02", "fig10", "fig11", "fig12", "fig13",
+                            "fig14", "fig15"}
+
+
+def test_parser_rejects_unknown_figure():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["figure", "fig99"])
+
+
+def test_parser_rejects_unknown_scale():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["figure", "fig10", "--scale", "huge"])
+
+
+def test_workload_command_runs(capsys):
+    assert main(["workload", "custom", "--until", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "records generated" in out
+    assert "custom steady state" in out
+
+
+def test_run_command_no_scale(capsys):
+    assert main(["run", "custom", "--system", "no-scale"]) == 0
+    out = capsys.readouterr().out
+    assert "no-scale" in out
+
+
+def test_figure_output_file(tmp_path, capsys, monkeypatch):
+    # Patch the fig02 runner with a stub so the test stays fast.
+    import repro.cli as cli
+    called = {}
+
+    def stub_runner(scenario):
+        called["scenario"] = scenario
+        return {"ratios": {"otfs": {"avg_ratio": 2.0, "peak_ratio": 3.0},
+                           "unbound": {"avg_ratio": 1.0,
+                                       "peak_ratio": 1.0}}}
+
+    monkeypatch.setitem(cli.FIGURES, "fig02",
+                        (stub_runner, cli.FIGURES["fig02"][1]))
+    target = tmp_path / "fig02.txt"
+    assert main(["figure", "fig02", "--output", str(target)]) == 0
+    assert target.exists()
+    assert "otfs" in target.read_text()
+    assert called["scenario"].name == "quick"
