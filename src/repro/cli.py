@@ -7,11 +7,13 @@ Examples::
     python -m repro figure fig15 --scale paper
     python -m repro run q7 --system drrs --new-parallelism 12
     python -m repro workload twitch --until 30
+    python -m repro trace q8 --system drrs --output trace.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, Optional
 
@@ -68,11 +70,35 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _figure_json(obj):
+    """Figure output → JSON-safe document (results become summaries)."""
+    from .experiments.harness import ExperimentResult
+    from .telemetry.exporters import _json_safe
+
+    def convert(value):
+        if isinstance(value, ExperimentResult):
+            summary = dict(value.summary())
+            summary["label"] = value.label
+            return summary
+        if isinstance(value, dict):
+            return {str(k): convert(v) for k, v in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [convert(v) for v in value]
+        return value
+
+    return _json_safe(convert(obj))
+
+
 def _cmd_figure(args) -> int:
     runner, formatter = FIGURES[args.name]
     scenario = _scenario(args.scale)
     out = runner(scenario)
-    text = formatter(out)
+    if args.json:
+        text = json.dumps({"figure": args.name, "scale": args.scale,
+                           "data": _figure_json(out)},
+                          indent=1, sort_keys=True)
+    else:
+        text = formatter(out)
     print(text)
     if args.output:
         with open(args.output, "w") as f:
@@ -84,7 +110,8 @@ def _cmd_figure(args) -> int:
 def _cmd_run(args) -> int:
     scenario = _scenario(args.scale)
     system = None if args.system == "no-scale" else args.system
-    result = _run_one(args.workload, system, scenario)
+    result = _run_one(args.workload, system, scenario,
+                      new_parallelism=args.new_parallelism)
     summary = result.summary()
     rows = [{"metric": k, "value": v} for k, v in summary.items()]
     print(_format_table(
@@ -96,12 +123,7 @@ def _cmd_workload(args) -> int:
     workload = make_workload(args.name, _scenario(args.scale))
     job = workload.build()
     job.run(until=args.until)
-    if args.inspect:
-        from .engine.introspection import operator_rows
-        print(_format_table(operator_rows(job),
-                            title=f"{args.name} operators at "
-                                  f"t={args.until:.0f}s"))
-        print()
+    from .engine.introspection import operator_rows
     stats = job.metrics.latency_stats(args.until / 2, args.until)
     rows = [
         {"metric": "records generated",
@@ -114,8 +136,56 @@ def _cmd_workload(args) -> int:
          "value": job.total_state_bytes(workload.scaling_operator) / 1e6},
         {"metric": "kernel events", "value": job.sim.events_processed},
     ]
+    if args.json:
+        doc = {"workload": args.name, "until": args.until,
+               "summary": {row["metric"]: row["value"] for row in rows}}
+        if args.inspect:
+            doc["operators"] = operator_rows(job)
+        print(json.dumps(doc, indent=1, sort_keys=True))
+        return 0
+    if args.inspect:
+        print(_format_table(operator_rows(job),
+                            title=f"{args.name} operators at "
+                                  f"t={args.until:.0f}s"))
+        print()
     print(_format_table(rows, title=f"{args.name} steady state after "
                                     f"{args.until:.0f} simulated seconds"))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    scenario = _scenario(args.scale)
+    system = None if args.system == "no-scale" else args.system
+    result = _run_one(args.workload, system, scenario,
+                      new_parallelism=args.new_parallelism, telemetry=True)
+    telemetry = result.telemetry
+    from .telemetry import (migration_breakdown, phase_summary_table,
+                            write_chrome_trace, write_jsonl)
+    print(phase_summary_table(
+        telemetry, title=f"{args.workload}/{system or 'no-scale'} "
+                         "phase summary"))
+    try:
+        breakdown = migration_breakdown(telemetry)
+    except ValueError:
+        breakdown = None
+    if breakdown is not None:
+        waves = breakdown.pop("waves")
+        rows = [{"metric": k, "value": v} for k, v in breakdown.items()]
+        print()
+        print(_format_table(rows, title="Migration phase breakdown "
+                                        "(span-derived)"))
+        print()
+        print(_format_table(
+            waves,
+            columns=["subscale_id", "src", "dst", "start", "end",
+                     "duration_s", "bytes_moved"],
+            title="Subscale waves"))
+    write_chrome_trace(telemetry, args.output)
+    print(f"[chrome trace saved to {args.output}; load it at "
+          "https://ui.perfetto.dev or chrome://tracing]")
+    if args.jsonl:
+        write_jsonl(telemetry, args.jsonl)
+        print(f"[raw spans saved to {args.jsonl}]")
     return 0
 
 
@@ -132,7 +202,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_figure.add_argument("name", choices=sorted(FIGURES))
     p_figure.add_argument("--scale", default="quick",
                           choices=("quick", "paper"))
-    p_figure.add_argument("--output", help="also save the table here")
+    p_figure.add_argument("--output", help="also save the output here")
+    p_figure.add_argument("--json", action="store_true",
+                          help="emit machine-readable JSON instead of the "
+                               "formatted table")
 
     p_run = sub.add_parser("run",
                            help="run one workload under one mechanism")
@@ -142,7 +215,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--scale", default="quick",
                        choices=("quick", "paper"))
     p_run.add_argument("--new-parallelism", type=int, default=None,
-                       help="(informational; scenario controls it)")
+                       help="target parallelism of the scaling operator "
+                            "(default: the scenario's)")
 
     p_workload = sub.add_parser("workload",
                                 help="run a workload without scaling")
@@ -152,6 +226,25 @@ def build_parser() -> argparse.ArgumentParser:
                             help="print per-operator load/queue/state rows")
     p_workload.add_argument("--scale", default="quick",
                             choices=("quick", "paper"))
+    p_workload.add_argument("--json", action="store_true",
+                            help="emit machine-readable JSON instead of "
+                                 "the formatted tables")
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one workload with tracing enabled and export the trace")
+    p_trace.add_argument("workload", choices=WORKLOADS)
+    p_trace.add_argument("--system", default="drrs",
+                         choices=SYSTEMS + ("no-scale",))
+    p_trace.add_argument("--scale", default="quick",
+                         choices=("quick", "paper"))
+    p_trace.add_argument("--new-parallelism", type=int, default=None,
+                         help="target parallelism of the scaling operator "
+                              "(default: the scenario's)")
+    p_trace.add_argument("--output", default="trace.json",
+                         help="Chrome trace-event file (Perfetto-loadable)")
+    p_trace.add_argument("--jsonl",
+                         help="also dump raw spans/events as JSON Lines")
     return parser
 
 
@@ -163,6 +256,7 @@ def main(argv: Optional[list] = None) -> int:
         "figure": _cmd_figure,
         "run": _cmd_run,
         "workload": _cmd_workload,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

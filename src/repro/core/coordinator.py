@@ -42,8 +42,14 @@ class ScaleCoordinator:
     def execute(self, op_name: str, plan: "MigrationPlan", scale_id: int):
         controller = self.controller
         config = self.config
+        telemetry = self.job.telemetry
 
         # -- A0/B0: deploy update -------------------------------------------------
+        decouple_span = None
+        if telemetry is not None:
+            decouple_span = telemetry.tracer.begin(
+                "decouple", category="drrs.phase", track="scale",
+                op=op_name, scale_id=scale_id)
         new_instances = yield from controller._provision(op_name, plan)
         instances = self.job.instances(op_name)
         executors: Dict[int, ScaleExecutor] = {}
@@ -62,6 +68,8 @@ class ScaleCoordinator:
             instance.wake.fire()
         controller._executors = executors
         controller._attach_suspension_probes(instances)
+        if decouple_span is not None:
+            telemetry.tracer.end(decouple_span, instances=len(instances))
 
         # -- C1: divide into subscales --------------------------------------------
         planner = SubscalePlanner(
@@ -162,6 +170,17 @@ class ScaleCoordinator:
         executors[id(src)].register_out(subscale)
         executors[id(dst)].expect_subscale(subscale)
         subscale.launched_at = self.sim.now
+        telemetry = self.job.telemetry
+        if telemetry is not None:
+            self.controller._wave_spans[subscale.subscale_id] = (
+                telemetry.tracer.begin(
+                    f"subscale-{subscale.subscale_id}",
+                    category="drrs.phase",
+                    track=f"subscale[{subscale.subscale_id}]",
+                    subscale_id=subscale.subscale_id,
+                    src=src.name, dst=dst.name,
+                    key_groups=list(subscale.key_groups),
+                    bytes_moved=0.0))
         # Keep the job-level assignment consistent with the routing flip:
         # any instance deployed from now on (e.g. by a concurrent scaling
         # of an adjacent operator, §IV-B) must copy the updated routing.
@@ -172,6 +191,13 @@ class ScaleCoordinator:
         yield self.sim.timeout(self.controller.control_latency)
         self.controller.metrics.signal_injected(subscale.subscale_id,
                                                 self.sim.now)
+        if telemetry is not None:
+            # Emitted at the exact sim-time ScalingMetrics records, so the
+            # span-derived propagation delay matches the metric.
+            telemetry.tracer.instant(
+                "signal.injected", category="drrs.phase",
+                track=f"subscale[{subscale.subscale_id}]",
+                subscale_id=subscale.subscale_id)
         for sender, edge in self.job.senders_to(op_name):
             sender.run_inband(self._make_injection(subscale, edge))
 

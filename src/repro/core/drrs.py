@@ -79,6 +79,7 @@ class DRRSController(ScalingController):
         self._plan = None
         self._executors: Dict[int, object] = {}
         self._completion_signal = None
+        self._wave_spans: Dict[int, object] = {}
         self.cancelled = False
 
     # -- concurrent executions (§IV-B) ----------------------------------------------
@@ -138,7 +139,14 @@ class DRRSController(ScalingController):
         instances = self.scaling_instances()
         src = instances[subscale.src_index]
         dst = instances[subscale.dst_index]
+        wave_span = self._wave_spans.get(subscale.subscale_id)
         for kg in subscale.key_groups:
+            if wave_span is not None:
+                group = src.state.group(kg)
+                if group is not None:
+                    wave_span.attrs["bytes_moved"] = (
+                        wave_span.attrs.get("bytes_moved", 0.0)
+                        + group.size_bytes)
             yield from self._transfer_group(
                 src, dst, kg, arrival_status=StateStatus.INACTIVE)
             group = dst.state.group(kg)
@@ -151,6 +159,10 @@ class DRRSController(ScalingController):
     def on_subscale_progress(self, subscale: Subscale) -> None:
         if subscale.done and subscale.completed_at is None:
             subscale.completed_at = self.sim.now
+            wave_span = self._wave_spans.pop(subscale.subscale_id, None)
+            if wave_span is not None and not wave_span.closed:
+                self.job.telemetry.tracer.end(
+                    wave_span, migrated=len(subscale.migrated_groups))
             if self._completion_signal is not None:
                 self._completion_signal.fire()
 

@@ -138,7 +138,8 @@ class ScaleExecutor:
             manager = ReRouteManager(
                 self.instance.sim, channel,
                 flush_capacity=config.reroute_flush_capacity,
-                flush_timeout=config.reroute_flush_timeout)
+                flush_timeout=config.reroute_flush_timeout,
+                telemetry=self.controller.job.telemetry)
             self.reroute_managers[key] = manager
         return manager
 
@@ -147,6 +148,11 @@ class ScaleExecutor:
         self.reroute_manager_for(subscale).forward_record(element)
         count = element.count if isinstance(element, Record) else 1
         self.controller.metrics.note_reroute(count)
+        telemetry = self.controller.job.telemetry
+        if telemetry is not None:
+            telemetry.registry.counter(
+                "drrs.records_rerouted",
+                operator=self.instance.spec.name).inc(count)
 
     # -- element classification (the heart of B1) -------------------------------------
 
@@ -272,6 +278,12 @@ class DRRSInputHandler(InputHandler):
 
         channel, saw_unprocessable = self._scan_heads(regular)
         if channel is not None:
+            if saw_unprocessable:
+                telemetry = self.instance.job.telemetry
+                if telemetry is not None:
+                    telemetry.registry.counter(
+                        "drrs.inter_channel_switches",
+                        operator=self.instance.spec.name).inc()
             return channel, channel.pop()
 
         # Phase 2 — intra-channel scheduling within the bounded buffer.
@@ -284,6 +296,11 @@ class DRRSInputHandler(InputHandler):
             if found is not None:
                 channel, element = found
                 channel.remove(element)
+                telemetry = self.instance.job.telemetry
+                if telemetry is not None:
+                    telemetry.registry.counter(
+                        "drrs.intra_channel_bypasses",
+                        operator=self.instance.spec.name).inc()
                 return channel, element
 
         self.suspended = saw_unprocessable or aux_blocked

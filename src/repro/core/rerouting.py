@@ -37,11 +37,13 @@ class ReRouteManager:
 
     def __init__(self, sim: Simulator, channel: Channel,
                  flush_capacity: int = 16,
-                 flush_timeout: float = 0.002):
+                 flush_timeout: float = 0.002,
+                 telemetry=None):
         if flush_capacity < 1:
             raise ValueError("flush_capacity must be >= 1")
         self.sim = sim
         self.channel = channel
+        self.telemetry = telemetry
         self.flush_capacity = flush_capacity
         self.flush_timeout = flush_timeout
         self._buffer: Deque[StreamElement] = deque()
@@ -116,11 +118,22 @@ class ReRouteManager:
                 else:
                     yield self._wake.wait()
                 continue
+            flush_span = None
+            if self.telemetry is not None:
+                flush_span = self.telemetry.tracer.begin(
+                    "reroute.flush", category="reroute",
+                    track=f"reroute:{self.channel.name}")
+            records = barriers = 0
             while self._buffer:
                 element = self._buffer.popleft()
                 if isinstance(element, ConfirmBarrier):
+                    barriers += 1
                     yield self.channel.send(element)
                 else:
                     self.records_forwarded += 1
+                    records += 1
                     yield self.channel.send(element)
             self._oldest_at = None
+            if flush_span is not None:
+                self.telemetry.tracer.end(flush_span, records=records,
+                                          barriers=barriers)

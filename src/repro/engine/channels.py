@@ -55,6 +55,8 @@ class Channel:
         #: dropped (failure recovery discards in-flight data).
         self._epoch = 0
         self.sender: Optional["OperatorInstance"] = None
+        #: Telemetry bundle shared with the owning job (None = disabled).
+        self.telemetry = None
         sim.spawn(self._drainer(), name=f"drain:{name}")
 
     # -- sender API ----------------------------------------------------------
@@ -73,6 +75,9 @@ class Channel:
             ev.succeed()
             self._drain_wake.fire()
         else:
+            if self.telemetry is not None:
+                self.telemetry.registry.counter(
+                    "channel.backpressure_blocks", channel=self.name).inc()
             self._send_waiters.append((ev, element))
         return ev
 
@@ -255,8 +260,20 @@ class Channel:
                    or self.input_channel is None):
                 if self._closed:
                     return
+                if (self.telemetry is not None and self.outbox
+                        and self.credits <= 0
+                        and self.input_channel is not None):
+                    # Flow control, not emptiness, is stalling the drainer.
+                    self.telemetry.registry.counter(
+                        "channel.credit_stalls", channel=self.name).inc()
                 yield self._drain_wake.wait()
             element = self.outbox.popleft()
+            if self.telemetry is not None:
+                registry = self.telemetry.registry
+                registry.counter("channel.elements_shipped",
+                                 channel=self.name).inc()
+                registry.counter("channel.bytes_shipped",
+                                 channel=self.name).inc(element.size_bytes)
             self._grant_sends()
             self.credits -= 1
             self._in_flight += 1

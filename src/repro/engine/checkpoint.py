@@ -41,7 +41,10 @@ class CheckpointCoordinator:
     def trigger_now(self) -> int:
         """Inject one checkpoint immediately; returns its id."""
         checkpoint_id = next(self._ids)
-        barrier = CheckpointBarrier(checkpoint_id=checkpoint_id)
+        if self.job.telemetry is not None:
+            self.job.telemetry.tracer.instant(
+                "checkpoint.trigger", category="checkpoint",
+                track="checkpoint", checkpoint_id=checkpoint_id)
         for source in self.job.sources():
             source.inject(CheckpointBarrier(checkpoint_id=checkpoint_id))
         return checkpoint_id

@@ -8,6 +8,14 @@ The collector mirrors the paper's measurement methodology (§V-A):
   so backpressure on sources shows up in the latency signal.
 * **Throughput** is the output rate of source operators over fixed windows,
   covering both ingest consumption and internal generation.
+
+**Empty-input contract**: every summary helper in this module is total over
+empty inputs — :func:`percentile`, :func:`series_peak` and
+:func:`series_mean` all return ``0.0`` when given no samples, matching the
+zero-filled dict :meth:`MetricsCollector.latency_stats` returns for an empty
+window.  Measurement windows that happen to contain no markers (warm-up,
+short scaling windows) are ordinary, not exceptional; only genuinely
+malformed arguments (``pct`` outside [0, 100], non-positive windows) raise.
 """
 
 from __future__ import annotations
@@ -120,11 +128,15 @@ def series_mean(series: Sequence[Tuple[float, float]],
 
 
 def percentile(values: Sequence[float], pct: float) -> float:
-    """Linear-interpolated percentile of ``values`` (pct in [0, 100])."""
-    if not values:
-        raise ValueError("empty values")
+    """Linear-interpolated percentile of ``values`` (pct in [0, 100]).
+
+    Returns 0.0 for empty input (see the module's empty-input contract);
+    a ``pct`` outside [0, 100] is a programming error and raises.
+    """
     if not 0.0 <= pct <= 100.0:
         raise ValueError("pct must be within [0, 100]")
+    if not values:
+        return 0.0
     ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
@@ -134,4 +146,6 @@ def percentile(values: Sequence[float], pct: float) -> float:
     if low == high:
         return ordered[low]
     frac = rank - low
-    return ordered[low] * (1 - frac) + ordered[high] * frac
+    # a + (b - a) * frac, not a*(1-frac) + b*frac: the latter can lose an
+    # ulp and break monotonicity in pct when neighbours are (nearly) equal.
+    return ordered[low] + (ordered[high] - ordered[low]) * frac

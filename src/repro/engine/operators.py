@@ -350,6 +350,11 @@ class OperatorInstance:
     def _note_suspension(self, start: float, end: float) -> None:
         if end > start:
             self.suspended_seconds += end - start
+            telemetry = self.job.telemetry
+            if telemetry is not None:
+                telemetry.tracer.complete(
+                    "suspended", category="suspension", track=self.name,
+                    start=start, end=end)
             if self._suspension_listener is not None:
                 self._suspension_listener(self, start, end)
 
@@ -389,6 +394,11 @@ class OperatorInstance:
                 yield self.sim.timeout(cost)
                 self.busy_seconds += self.sim.now - start
             self.records_processed += record.count
+            telemetry = self.job.telemetry
+            if telemetry is not None:
+                telemetry.registry.counter(
+                    "records.processed",
+                    operator=self.spec.name).inc(record.count)
             outputs = self.logic.on_record(record, self)
         finally:
             self.current_key_group = None
@@ -435,7 +445,16 @@ class OperatorInstance:
             del self._pending_checkpoint[barrier.checkpoint_id]
             sync_cost = self.job.checkpoint_sync_cost(self)
             if sync_cost > 0:
+                telemetry = self.job.telemetry
+                span = None
+                if telemetry is not None:
+                    span = telemetry.tracer.begin(
+                        "checkpoint.sync", category="checkpoint",
+                        track=self.name,
+                        checkpoint_id=barrier.checkpoint_id)
                 yield self.sim.timeout(sync_cost)
+                if span is not None:
+                    telemetry.tracer.end(span)
             self.job.note_snapshot(self, barrier)
             yield from self.router.emit(barrier)
             for ch in self.input_channels:

@@ -145,6 +145,11 @@ class RecoveryManager:
         job = self.job
         sim = job.sim
         self.recoveries.append((sim.now, checkpoint.checkpoint_id))
+        restore_span = None
+        if job.telemetry is not None:
+            restore_span = job.telemetry.tracer.begin(
+                "recovery.restore", category="recovery", track="recovery",
+                checkpoint_id=checkpoint.checkpoint_id)
 
         # 1. Halt everything and discard in-flight data.
         instances = job.all_instances()
@@ -207,4 +212,7 @@ class RecoveryManager:
         # 4. Resume.
         for instance in instances:
             instance.resume()
+        if restore_span is not None:
+            job.telemetry.tracer.end(restore_span,
+                                     restored_bytes=total_bytes)
         done.succeed(checkpoint.checkpoint_id)

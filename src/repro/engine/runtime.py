@@ -137,6 +137,11 @@ class SourceInstance(OperatorInstance):
                 self.emitted_records += element.count
                 self.metrics.record_source_output(self.sim.now,
                                                   element.count)
+                telemetry = self.job.telemetry
+                if telemetry is not None:
+                    telemetry.registry.counter(
+                        "source.records_emitted",
+                        operator=self.spec.name).inc(element.count)
             elif isinstance(element, EndOfStream):
                 yield from self.router.emit(element)
                 self.running = False
@@ -172,6 +177,34 @@ class StreamJob:
         #: Count of scaling operations currently in flight (any controller).
         self.scaling_active = 0
         self._transfer_gates: Dict[str, object] = {}
+        #: Telemetry bundle (registry + tracer), or None when disabled.
+        #: Hot paths guard every recording with ``if telemetry is not None``
+        #: so the disabled default costs one attribute load per site.
+        self.telemetry = None
+
+    def enable_telemetry(self, capacity: int = 200_000,
+                         sample_interval: Optional[float] = None):
+        """Attach a :class:`repro.telemetry.Telemetry` to this job.
+
+        Installs the kernel dispatch probe, tags every existing channel
+        (future channels are tagged at creation), and — only when
+        ``sample_interval`` is given — starts the periodic queue-depth
+        sampler.  Without the sampler, telemetry records at existing event
+        boundaries only, so enabling it never changes simulated behaviour.
+        Idempotent; returns the Telemetry.
+        """
+        if self.telemetry is not None:
+            return self.telemetry
+        from ..telemetry import Telemetry
+        telemetry = Telemetry(self.sim, capacity=capacity)
+        self.telemetry = telemetry
+        self.sim.dispatch_probe = telemetry.on_kernel_event
+        for instance in self.all_instances():
+            for channel in instance.router.all_channels():
+                channel.telemetry = telemetry
+        if sample_interval is not None:
+            telemetry.start_sampler(self, sample_interval)
+        return telemetry
 
     def transfer_gate(self, node_name: str):
         """Per-host semaphore limiting concurrent state transfers."""
@@ -239,6 +272,7 @@ class StreamJob:
             outbox_capacity=self.config.outbox_capacity,
             inbox_capacity=self.config.inbox_capacity)
         channel.sender = sender
+        channel.telemetry = self.telemetry
         input_channel = dst.add_input_channel(name=channel.name)
         channel.attach(input_channel)
         out_edge.add_channel(channel)
@@ -391,6 +425,7 @@ class StreamJob:
             outbox_capacity=self.config.outbox_capacity,
             inbox_capacity=self.config.inbox_capacity)
         channel.sender = src
+        channel.telemetry = self.telemetry
         input_channel = dst.add_input_channel(name=channel.name)
         input_channel.watermark = float("inf")  # never the min
         input_channel.is_auxiliary = True
@@ -414,6 +449,11 @@ class StreamJob:
                       barrier: CheckpointBarrier) -> None:
         self._snapshots.append(
             (self.sim.now, instance.name, barrier.checkpoint_id))
+        if self.telemetry is not None:
+            self.telemetry.tracer.instant(
+                "checkpoint.snapshot", category="checkpoint",
+                track=instance.name, checkpoint_id=barrier.checkpoint_id,
+                state_bytes=instance.state.total_bytes())
         if self.snapshot_listener is not None:
             self.snapshot_listener(instance, barrier)
 

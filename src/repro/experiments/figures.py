@@ -60,17 +60,21 @@ def controller_factory(name: str, **kwargs) -> Callable[[StreamJob], object]:
 
 
 def _run_one(kind: str, system: Optional[str],
-             scenario: Scenario, **workload_overrides) -> ExperimentResult:
+             scenario: Scenario, new_parallelism: Optional[int] = None,
+             telemetry: bool = False,
+             **workload_overrides) -> ExperimentResult:
     workload = make_workload(kind, scenario, **workload_overrides)
     factory = controller_factory(system) if system else None
     config = ExperimentConfig(
         workload=workload,
         controller_factory=factory,
-        new_parallelism=scenario.new_parallelism,
+        new_parallelism=(new_parallelism if new_parallelism is not None
+                         else scenario.new_parallelism),
         warmup=scenario.warmup,
         post_duration=scenario.post_duration,
         stabilize_hold=scenario.stabilize_hold,
-        label=f"{kind}/{system or 'no-scale'}")
+        label=f"{kind}/{system or 'no-scale'}",
+        telemetry=telemetry)
     return run_experiment(config)
 
 

@@ -49,6 +49,10 @@ class ExperimentConfig:
     cluster: Optional[ClusterModel] = None
     job_config: Optional[JobConfig] = None
     label: str = ""
+    #: Opt-in structured tracing: when True the job's telemetry subsystem
+    #: is enabled before warm-up and exposed on the result.  Off by default
+    #: so figure runs stay bit-identical to the un-instrumented engine.
+    telemetry: bool = False
 
 
 @dataclass
@@ -68,6 +72,8 @@ class ExperimentResult:
     source_records: int
     sink_records: int
     job: Optional[StreamJob] = field(default=None, repr=False)
+    #: The job's Telemetry bundle when ExperimentConfig.telemetry was set.
+    telemetry: Optional[object] = field(default=None, repr=False)
 
     @property
     def peak_latency(self) -> float:
@@ -147,6 +153,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     workload = config.workload
     job = workload.build(cluster=config.cluster,
                          job_config=config.job_config)
+    telemetry = job.enable_telemetry() if config.telemetry else None
     job.run(until=config.warmup)
 
     controller = None
@@ -187,4 +194,5 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         source_records=job.metrics.total_source_output(),
         sink_records=job.metrics.total_sink_input(),
         job=job,
+        telemetry=telemetry,
     )

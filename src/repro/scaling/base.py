@@ -334,6 +334,14 @@ class ScalingController:
 
     def _run_scale(self, op_name, plan, scale_id, done):
         self.job.scaling_active += 1
+        telemetry = self.job.telemetry
+        span = None
+        if telemetry is not None:
+            span = telemetry.tracer.begin(
+                "rescale", category="migration", track="scale",
+                op=op_name, controller=self.name, scale_id=scale_id,
+                old_parallelism=plan.old_parallelism,
+                new_parallelism=plan.new_parallelism)
         try:
             yield from self._execute(op_name, plan, scale_id)
         finally:
@@ -341,6 +349,12 @@ class ScalingController:
             self.active = False
             self.job.signal_router = None
             self.job.scaling_active -= 1
+            if span is not None:
+                telemetry.tracer.end(
+                    span,
+                    records_rerouted=self.metrics.records_rerouted,
+                    remigrations=self.metrics.remigrations,
+                    groups_migrated=len(self.metrics.migration_completed))
             done.succeed(self.metrics)
 
     def _execute(self, op_name: str, plan: MigrationPlan, scale_id: int):
@@ -415,6 +429,15 @@ class ScalingController:
             raise KeyError(
                 f"{src.name} does not hold key-group {key_group}")
         self.metrics.note_migration_started(key_group, self.sim.now)
+        # The transfer span must open exactly at migration start so that
+        # span-derived propagation delay matches ScalingMetrics.
+        telemetry = self.job.telemetry
+        span = None
+        if telemetry is not None:
+            span = telemetry.tracer.begin(
+                "state-transfer", category="transfer",
+                track=f"transfer:{src.name}->{dst.name}",
+                key_group=key_group, bytes=group.size_bytes)
         entries = group.entries
         size = group.size_bytes
         sub_present = group.sub_groups_present
@@ -438,6 +461,8 @@ class ScalingController:
         new_group.status = arrival_status
         new_group.sub_groups_present = sub_present
         self.metrics.note_migration_completed(key_group, self.sim.now)
+        if span is not None:
+            telemetry.tracer.end(span)
         dst.wake.fire()
 
     def _finalize_assignment(self, op_name: str,

@@ -256,6 +256,10 @@ class Simulator:
         self._heap: List[Tuple[float, int, Event]] = []
         self._counter = itertools.count()
         self._event_count = 0
+        #: Optional zero-arg telemetry hook invoked once per dispatched
+        #: event.  None (the default) keeps dispatch on the fast path; the
+        #: hook must not schedule simulation events.
+        self.dispatch_probe: Optional[Callable[[], None]] = None
 
     @property
     def now(self) -> float:
@@ -325,6 +329,8 @@ class Simulator:
             raise SimulationError("event heap went backwards in time")
         self._now = when
         self._event_count += 1
+        if self.dispatch_probe is not None:
+            self.dispatch_probe()
         event._triggered = True
         event._process()
         return True

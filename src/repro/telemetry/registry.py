@@ -1,0 +1,180 @@
+"""Metrics registry: labelled counters, gauges and histograms.
+
+The registry is the *aggregate* half of the telemetry subsystem (the tracer
+is the *timeline* half): cheap monotonically updated instruments the hot
+paths bump without allocating, plus a :meth:`MetricsRegistry.snapshot` /
+:func:`diff_snapshots` API so experiments can attribute deltas to a phase
+("how many records were re-routed during subscale 3?").
+
+Instruments are identified by name + a frozen label set; repeated
+``registry.counter("x", op="agg")`` calls return the same object.  All
+iteration orders are sorted, so snapshots of identically-seeded runs are
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "diff_snapshots"]
+
+#: Default histogram bucket upper bounds (seconds-flavoured, log-spaced).
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value (queue depth, credits, active subscales)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus-style ``le`` buckets)."""
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "sum")
+
+    def __init__(self, name: str, labels: LabelKey,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a non-empty ascending sequence")
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(buckets)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # +inf overflow
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending at +inf."""
+        out = []
+        running = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            out.append((bound, running))
+        out.append((math.inf, self.count))
+        return out
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument in one run."""
+
+    def __init__(self):
+        self._instruments: Dict[Tuple[str, str, LabelKey], object] = {}
+
+    def _get(self, kind: str, name: str, labels: Dict[str, str], factory):
+        key = (kind, name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory(name, key[2])
+            self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get("counter", name, labels, Counter)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get("gauge", name, labels, Gauge)
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  **labels: str) -> Histogram:
+        return self._get(
+            "histogram", name, labels,
+            lambda n, lk: Histogram(n, lk, buckets=buckets))
+
+    def instruments(self) -> List[object]:
+        """All instruments in deterministic (kind, name, labels) order."""
+        return [self._instruments[k] for k in sorted(self._instruments)]
+
+    def snapshot(self) -> Dict[str, object]:
+        """Flat, JSON-serialisable view of every instrument.
+
+        Keys are ``name{k=v,...}`` (labels sorted); histogram values are
+        ``{"count", "sum", "buckets"}`` dicts, everything else a float.
+        """
+        snap: Dict[str, object] = {}
+        for (kind, name, labels), inst in sorted(self._instruments.items()):
+            label_str = ",".join(f"{k}={v}" for k, v in labels)
+            key = f"{name}{{{label_str}}}" if label_str else name
+            if kind == "histogram":
+                snap[key] = {
+                    "count": inst.count,
+                    "sum": inst.sum,
+                    "buckets": [[b, c] for b, c in inst.cumulative()
+                                if b != math.inf] + [["inf", inst.count]],
+                }
+            else:
+                snap[key] = inst.value
+        return snap
+
+
+def diff_snapshots(before: Dict[str, object],
+                   after: Dict[str, object]) -> Dict[str, object]:
+    """Per-key change between two :meth:`MetricsRegistry.snapshot` calls.
+
+    Scalar instruments diff numerically; histograms diff count/sum.  Keys
+    absent from ``before`` diff against zero; keys whose value did not
+    change are omitted.
+    """
+    out: Dict[str, object] = {}
+    for key, new in after.items():
+        old = before.get(key)
+        if isinstance(new, dict):
+            old_count = old["count"] if isinstance(old, dict) else 0
+            old_sum = old["sum"] if isinstance(old, dict) else 0.0
+            if new["count"] != old_count or new["sum"] != old_sum:
+                out[key] = {"count": new["count"] - old_count,
+                            "sum": new["sum"] - old_sum}
+        else:
+            base = old if isinstance(old, (int, float)) else 0.0
+            if new != base:
+                out[key] = new - base
+    return out

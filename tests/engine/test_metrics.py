@@ -77,11 +77,34 @@ class TestPercentile:
     def test_single_value(self):
         assert percentile([42.0], 99) == 42.0
 
-    def test_rejects_empty_and_bad_pct(self):
-        with pytest.raises(ValueError):
-            percentile([], 50)
+    def test_empty_returns_zero(self):
+        # Empty-input contract (module docstring): all summary helpers are
+        # total over empty inputs, so a window with no markers is 0.0
+        # everywhere, never an exception.
+        assert percentile([], 50) == 0.0
+        assert percentile([], 0) == 0.0
+        assert percentile([], 100) == 0.0
+
+    def test_rejects_bad_pct(self):
         with pytest.raises(ValueError):
             percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.5)
+        with pytest.raises(ValueError):
+            percentile([], 101)  # argument errors win over empty input
+
+    def test_empty_contract_is_uniform(self):
+        # percentile / series_peak / series_mean / latency_stats agree.
+        assert percentile([], 99) == series_peak([]) == series_mean([]) == 0.0
+        stats = MetricsCollector().latency_stats()
+        assert stats["p99"] == 0.0 and stats["peak"] == 0.0
+
+    def test_single_sample_stats(self):
+        m = MetricsCollector()
+        m.record_latency(1.0, 0.25)
+        stats = m.latency_stats()
+        assert stats == {"peak": 0.25, "mean": 0.25, "p50": 0.25,
+                         "p99": 0.25, "count": 1}
 
     @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200),
            st.floats(0, 100))

@@ -1,0 +1,102 @@
+"""Span-derived phase breakdown vs the controller's ScalingMetrics.
+
+The acceptance bar for the telemetry subsystem: the decomposition computed
+purely from spans must agree with the ground-truth ScalingMetrics the
+figures are built from (Fig. 12/13's propagation/suspension split).
+"""
+
+import sys
+
+import pytest
+
+sys.path.insert(0, "tests")
+from helpers import build_keyed_job, drive  # noqa: E402
+
+from repro.core.drrs import DRRSConfig, DRRSController
+from repro.telemetry import migration_breakdown, phase_rows
+
+TOL = 1e-9
+
+
+def traced_rescale(config=None, new_parallelism=4):
+    job = build_keyed_job()
+    telemetry = job.enable_telemetry()
+    drive(job, until=25.0)
+    job.run(until=5.0)
+    controller = DRRSController(job, config or DRRSConfig())
+    done = controller.request_rescale("agg", new_parallelism)
+    job.run(until=30.0)
+    assert done.triggered
+    return job, controller, telemetry
+
+
+def test_propagation_delay_matches_scaling_metrics():
+    _job, controller, telemetry = traced_rescale()
+    breakdown = migration_breakdown(telemetry)
+    assert breakdown["cumulative_propagation_delay_s"] == pytest.approx(
+        controller.metrics.cumulative_propagation_delay(), abs=TOL)
+
+
+def test_suspension_matches_scaling_metrics():
+    _job, controller, telemetry = traced_rescale()
+    breakdown = migration_breakdown(telemetry)
+    assert breakdown["total_suspension_s"] == pytest.approx(
+        controller.metrics.total_suspension(), abs=TOL)
+
+
+def test_breakdown_covers_every_subscale_and_byte():
+    _job, controller, telemetry = traced_rescale()
+    breakdown = migration_breakdown(telemetry)
+    assert breakdown["op"] == "agg"
+    assert breakdown["controller"] == "drrs"
+    assert breakdown["num_subscales"] == len(controller.metrics.injections)
+    # Wave-level bytes equal transfer-level bytes: the same state moved.
+    assert sum(w["bytes_moved"] for w in breakdown["waves"]) == (
+        pytest.approx(breakdown["bytes_moved"]))
+    # Every migrated key-group shows up in exactly one wave.
+    covered = sorted(kg for w in breakdown["waves"]
+                     for kg in w["key_groups"])
+    assert covered == sorted(set(covered))
+    assert breakdown["decouple_s"] > 0
+    assert breakdown["duration_s"] == pytest.approx(
+        controller.metrics.duration, abs=TOL)
+
+
+def test_breakdown_selects_scale_by_id():
+    job = build_keyed_job()
+    telemetry = job.enable_telemetry()
+    drive(job, until=35.0)
+    job.run(until=5.0)
+    controller = DRRSController(job)
+    done1 = controller.request_rescale("agg", 4)
+    job.run(until=20.0)
+    assert done1.triggered
+    done2 = controller.request_rescale("agg", 3)
+    job.run(until=40.0)
+    assert done2.triggered
+    first = migration_breakdown(telemetry, scale_id=1)
+    latest = migration_breakdown(telemetry)
+    assert first["scale_id"] == 1
+    assert latest["scale_id"] == 2
+    assert latest["start"] >= first["end"]
+
+
+def test_breakdown_raises_without_rescale():
+    job = build_keyed_job()
+    telemetry = job.enable_telemetry()
+    drive(job, until=2.0)
+    job.run(until=3.0)
+    with pytest.raises(ValueError):
+        migration_breakdown(telemetry)
+
+
+def test_phase_rows_aggregate():
+    _job, _controller, telemetry = traced_rescale()
+    rows = phase_rows(telemetry)
+    by_key = {(r["category"], r["name"]): r for r in rows}
+    transfer = by_key[("transfer", "state-transfer")]
+    assert transfer["count"] > 0
+    assert transfer["total_s"] >= transfer["max_s"] >= transfer["mean_s"] \
+        >= transfer["min_s"] >= 0
+    only = phase_rows(telemetry, category="transfer")
+    assert {r["category"] for r in only} == {"transfer"}

@@ -41,6 +41,79 @@ def test_run_command_no_scale(capsys):
     assert "no-scale" in out
 
 
+def test_run_new_parallelism_takes_effect():
+    from repro.experiments.figures import _run_one
+    from repro.experiments.scenarios import QUICK
+    result = _run_one("custom", "drrs", QUICK, new_parallelism=5)
+    assert len(result.job.instances("aggregator")) == 5
+    assert result.scaling_metrics is not None
+
+
+def test_run_command_passes_new_parallelism(capsys, monkeypatch):
+    import repro.cli as cli
+    captured = {}
+    real = cli._run_one
+
+    def spy(kind, system, scenario, **kwargs):
+        captured.update(kind=kind, system=system, **kwargs)
+        return real(kind, system, scenario, **kwargs)
+
+    monkeypatch.setattr(cli, "_run_one", spy)
+    assert main(["run", "custom", "--system", "drrs",
+                 "--new-parallelism", "5"]) == 0
+    assert captured["new_parallelism"] == 5
+    assert "drrs" in capsys.readouterr().out
+
+
+def test_workload_json(capsys):
+    import json
+    assert main(["workload", "custom", "--until", "5",
+                 "--inspect", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["workload"] == "custom"
+    assert "records generated" in doc["summary"]
+    assert isinstance(doc["operators"], list)
+    assert {"operator", "parallelism"} <= set(doc["operators"][0])
+
+
+def test_figure_json(tmp_path, capsys, monkeypatch):
+    import json
+    import repro.cli as cli
+
+    def stub_runner(scenario):
+        return {"ratios": {"otfs": {"avg_ratio": 2.0, "peak_ratio": 3.0},
+                           "unbound": {"avg_ratio": 1.0,
+                                       "peak_ratio": 1.0}}}
+
+    monkeypatch.setitem(cli.FIGURES, "fig02",
+                        (stub_runner, cli.FIGURES["fig02"][1]))
+    target = tmp_path / "fig02.json"
+    assert main(["figure", "fig02", "--json",
+                 "--output", str(target)]) == 0
+    doc = json.loads(capsys.readouterr().out.split("[saved")[0])
+    assert doc["figure"] == "fig02"
+    assert doc["data"]["ratios"]["otfs"]["avg_ratio"] == 2.0
+    assert json.loads(target.read_text())["figure"] == "fig02"
+
+
+def test_trace_command(tmp_path, capsys):
+    import json
+    trace = tmp_path / "trace.json"
+    jsonl = tmp_path / "trace.jsonl"
+    assert main(["trace", "custom", "--output", str(trace),
+                 "--jsonl", str(jsonl)]) == 0
+    out = capsys.readouterr().out
+    assert "Migration phase breakdown" in out
+    assert "Subscale waves" in out
+    doc = json.loads(trace.read_text())
+    names = {e["name"] for e in doc["traceEvents"]}
+    assert {"rescale", "decouple", "state-transfer",
+            "signal.injected"} <= names
+    assert jsonl.exists()
+    first = json.loads(jsonl.read_text().splitlines()[0])
+    assert first["kind"] in ("span", "instant")
+
+
 def test_figure_output_file(tmp_path, capsys, monkeypatch):
     # Patch the fig02 runner with a stub so the test stays fast.
     import repro.cli as cli
