@@ -1,0 +1,52 @@
+"""Smoke wrappers for the wall-clock perf suites (``repro bench``).
+
+These run the ``smoke`` scale so CI catches harness breakage (a bench that
+crashes, a schema drift, a missing baseline entry); the recorded perf
+trajectory lives in ``BENCH_kernel.json`` / ``BENCH_e2e.json`` at the repo
+root (``full`` scale, best-of-N, interleaved against the pre-PR commit —
+see :mod:`repro.perf.baseline` for the methodology).
+
+Wall-clock *thresholds* are deliberately absent: CI boxes are too noisy
+for them.  Semantics regressions are caught by the golden-trace tests
+instead.
+"""
+
+from repro.perf import BENCH_SCALES, run_e2e_bench, run_kernel_bench
+from repro.perf.benches import write_bench_files
+
+KERNEL_BENCHES = ("timeout_storm", "callback_chain", "event_pingpong",
+                  "channel_throughput")
+
+
+def test_kernel_bench_smoke():
+    doc = run_kernel_bench("smoke")
+    assert doc["schema"] == "repro-bench/1"
+    assert doc["scale"] == "smoke"
+    for name in KERNEL_BENCHES:
+        result = doc["results"][name]
+        assert result["wall_s"] > 0
+        throughputs = [v for k, v in result.items() if k.endswith("_per_s")]
+        assert throughputs and all(v > 0 for v in throughputs)
+
+
+def test_e2e_bench_smoke():
+    doc = run_e2e_bench("smoke")
+    results = doc["results"]
+    params = BENCH_SCALES["smoke"]
+    assert results["sim_seconds"] == params["e2e_until"]
+    assert results["source_records"] > 0
+    assert results["sink_records"] > 0
+    assert results["records_per_sec"] > 0
+
+
+def test_write_bench_files_embeds_baseline(tmp_path):
+    written = write_bench_files(output_dir=str(tmp_path), scale="smoke")
+    assert set(written) == {"kernel", "e2e"}
+    import json
+
+    for name, path in written.items():
+        with open(path) as f:
+            doc = json.load(f)
+        assert doc["bench"] == name
+        assert "pre_pr" in doc
+        assert "speedup_vs_pre_pr" in doc

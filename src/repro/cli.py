@@ -8,6 +8,7 @@ Examples::
     python -m repro run q7 --system drrs --new-parallelism 12
     python -m repro workload twitch --until 30
     python -m repro trace q8 --system drrs --output trace.json
+    python -m repro bench --scale smoke --json
 """
 
 from __future__ import annotations
@@ -189,6 +190,34 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from .perf import write_bench_files
+
+    written = write_bench_files(output_dir=args.output, scale=args.scale,
+                                which=args.only)
+    docs = {}
+    for name, path in written.items():
+        with open(path) as f:
+            docs[name] = json.load(f)
+    if args.json:
+        print(json.dumps(docs, indent=1, sort_keys=True))
+        return 0
+    for name, path in written.items():
+        doc = docs[name]
+        print(f"[{name} bench written to {path}]")
+        speedup = doc.get("speedup_vs_pre_pr")
+        if name == "e2e":
+            rps = doc["results"].get("records_per_sec", 0.0)
+            line = f"  {rps:,.0f} records/s"
+            if speedup is not None:
+                line += f"  ({speedup:.2f}x vs pre-PR)"
+            print(line)
+        elif isinstance(speedup, dict):
+            for bench_name, ratio in sorted(speedup.items()):
+                print(f"  {bench_name}: {ratio:.2f}x vs pre-PR")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -245,6 +274,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="Chrome trace-event file (Perfetto-loadable)")
     p_trace.add_argument("--jsonl",
                          help="also dump raw spans/events as JSON Lines")
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the wall-clock perf benches and write "
+             "BENCH_kernel.json / BENCH_e2e.json")
+    p_bench.add_argument("--scale", default="full",
+                         choices=("smoke", "full"))
+    p_bench.add_argument("--output", default=".",
+                         help="directory for the BENCH_*.json files")
+    p_bench.add_argument("--only", choices=("kernel", "e2e"), default=None,
+                         help="run just one suite")
+    p_bench.add_argument("--json", action="store_true",
+                         help="also print the bench documents as JSON")
     return parser
 
 
@@ -257,6 +299,7 @@ def main(argv: Optional[list] = None) -> int:
         "run": _cmd_run,
         "workload": _cmd_workload,
         "trace": _cmd_trace,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

@@ -23,8 +23,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, List, Optional, TYPE_CHECKING
 
-from ..simulation.kernel import Event, Simulator
-from ..simulation.primitives import Signal
+from ..simulation.kernel import Event, Simulator, _Callback
 from .cluster import LinkSpec
 from .records import StreamElement, Watermark
 
@@ -35,7 +34,23 @@ __all__ = ["Channel", "InputChannel"]
 
 
 class Channel:
-    """A one-way link from a sender instance to a receiver input channel."""
+    """A one-way link from a sender instance to a receiver input channel.
+
+    The drainer is a callback-driven state machine, not a generator process:
+    :meth:`_kick` plays the role the old drain Signal's ``fire()`` played
+    (wake a parked drainer, or latch a pending wake-up), and
+    :meth:`_drain_loop` is the loop body.  Each wake-up and each serialize
+    step draws exactly the same event-heap counters the generator version
+    drew, so simulated timing and tie-break order are bit-identical — only
+    the per-element generator-resume machinery is gone.
+    """
+
+    __slots__ = ("sim", "link", "name", "outbox_capacity", "outbox",
+                 "credits", "inbox_capacity", "input_channel",
+                 "_send_waiters", "_in_flight", "_closed", "_epoch",
+                 "sender", "telemetry", "_drain_parked",
+                 "_drain_entry", "_ship_entry", "_deliver_entry",
+                 "_serializing", "_serializing_epoch", "_wire")
 
     def __init__(self, sim: Simulator, link: LinkSpec, name: str = "",
                  outbox_capacity: int = 64, inbox_capacity: int = 64):
@@ -47,7 +62,6 @@ class Channel:
         self.credits = inbox_capacity
         self.inbox_capacity = inbox_capacity
         self.input_channel: Optional["InputChannel"] = None
-        self._drain_wake = Signal(sim)
         self._send_waiters: Deque = deque()  # (Event, StreamElement) pairs
         self._in_flight = 0  # elements past the outbox, not yet delivered
         self._closed = False
@@ -57,7 +71,25 @@ class Channel:
         self.sender: Optional["OperatorInstance"] = None
         #: Telemetry bundle shared with the owning job (None = disabled).
         self.telemetry = None
-        sim.spawn(self._drainer(), name=f"drain:{name}")
+        # Drainer state: parked = waiting for a kick.  Born parked: with
+        # nothing queued, the first productive kick (send/attach) starts
+        # the loop.  No pending latch is needed — a scheduled or running
+        # drain pass is atomic and re-checks all conditions before parking.
+        self._drain_parked = True
+        # Reusable heap entries (one allocation per channel, not per
+        # element).  Drain/ship have at most one outstanding schedule each;
+        # the deliver entry may sit in the heap at several positions, one
+        # per in-flight element — `_wire` holds their (element, epoch)
+        # payloads in delivery order (fixed per-channel latency keeps the
+        # wire FIFO).
+        self._drain_entry = _Callback(self._drain_loop)
+        self._ship_entry = _Callback(self._ship)
+        self._deliver_entry = _Callback(self._deliver_next)
+        self._serializing: Optional[StreamElement] = None
+        # Epoch captured when the serializing element left the outbox: a
+        # flush() mid-serialize must still invalidate it.
+        self._serializing_epoch = 0
+        self._wire: Deque = deque()  # (element, epoch) pairs
 
     # -- sender API ----------------------------------------------------------
 
@@ -67,18 +99,24 @@ class Channel:
         Blocks (event stays pending) while the outbox is full — this is the
         backpressure path.
         """
-        ev = self.sim.event()
         if self._closed:
-            ev.succeed()  # decommissioned target: accept and drop
-        elif len(self.outbox) < self.outbox_capacity:
+            # Decommissioned target: accept and drop.  The shared
+            # pre-succeeded event costs neither an allocation nor a heap
+            # push at send time.
+            return self.sim.done
+        if len(self.outbox) < self.outbox_capacity:
+            # Accepted immediately: kick the drainer and hand the sender the
+            # shared pre-succeeded event — no allocation, no heap push, and
+            # the sender's generator resumes synchronously (see
+            # Process._resume's processed-event fast path).
             self.outbox.append(element)
-            ev.succeed()
-            self._drain_wake.fire()
-        else:
-            if self.telemetry is not None:
-                self.telemetry.registry.counter(
-                    "channel.backpressure_blocks", channel=self.name).inc()
-            self._send_waiters.append((ev, element))
+            self._kick()
+            return self.sim.done
+        if self.telemetry is not None:
+            self.telemetry.registry.counter(
+                "channel.backpressure_blocks", channel=self.name).inc()
+        ev = self.sim.event()
+        self._send_waiters.append((ev, element))
         return ev
 
     def try_send(self, element: StreamElement) -> bool:
@@ -88,7 +126,7 @@ class Channel:
         if len(self.outbox) >= self.outbox_capacity:
             return False
         self.outbox.append(element)
-        self._drain_wake.fire()
+        self._kick()
         return True
 
     def send_front(self, element: StreamElement) -> None:
@@ -98,7 +136,7 @@ class Channel:
         output cache.  Control elements are tiny, so this never blocks.
         """
         self.outbox.appendleft(element)
-        self._drain_wake.fire()
+        self._kick()
 
     def send_control(self, element: StreamElement) -> None:
         """Priority control-lane send: bypass both caches entirely.
@@ -188,7 +226,7 @@ class Channel:
                 kept_waiters.append((ev, element))
         self._send_waiters = kept_waiters
         self._grant_sends()
-        self._drain_wake.fire()
+        self._kick()
         return bypassed
 
     @property
@@ -216,7 +254,7 @@ class Channel:
             if not ev.triggered:
                 ev.succeed()
         self.credits = self.inbox_capacity
-        self._drain_wake.fire()
+        self._kick()
 
     def close(self) -> None:
         """Stop the channel: the drainer exits, queued and future sends are
@@ -227,18 +265,18 @@ class Channel:
         for ev, _element in waiters:
             if not ev.triggered:
                 ev.succeed()
-        self._drain_wake.fire()
+        self._kick()
 
     # -- receiver attachment -------------------------------------------------
 
     def attach(self, input_channel: "InputChannel") -> None:
         self.input_channel = input_channel
         input_channel.channel = self
-        self._drain_wake.fire()
+        self._kick()
 
     def _return_credit(self) -> None:
         self.credits += 1
-        self._drain_wake.fire()
+        self._kick()
 
     # -- internals -------------------------------------------------------------
 
@@ -249,15 +287,55 @@ class Channel:
                 continue
             self.outbox.append(element)
             waiter.succeed()
-            self._drain_wake.fire()
+            self._kick()
 
-    def _drainer(self):
-        """Serialize and ship outbox elements, one at a time."""
+    def _kick(self) -> None:
+        """Wake the drainer (the old drain Signal's ``fire()``).
+
+        The wake-up must go through the heap, not run inline: an element
+        sent at time T stays in the output cache until the drain *event*
+        dispatches, so same-timestamp ``send_front``/``inject_confirm``/
+        ``extract_outbox`` can still overtake or redirect it — the cache
+        semantics every bypass protocol in the paper relies on.
+
+        Two classes of wake-up are dropped without scheduling anything:
+
+        * The drainer is not parked.  A scheduled-or-running drain pass is
+          atomic (no yields), so it re-checks the outbox/credits/attachment
+          state the kicker just changed before it exits — the old
+          level-triggered pending latch re-checked conditions the loop had
+          already seen.
+        * The drainer could not make progress anyway (empty outbox, closed,
+          no credits, unattached).  Every one of those conditions kicks
+          again at the call site that clears it (send/send_front/
+          _grant_sends/inject_confirm, close is terminal, pop's credit
+          return, attach), so a parked drainer can never be stranded.
+        """
+        if (self._drain_parked and not self._closed and self.outbox
+                and self.input_channel is not None):
+            if self.credits <= 0:
+                if self.telemetry is not None:
+                    # The drain pass this kick would have started would
+                    # have stalled on flow control; count it here since
+                    # the pass itself is elided.
+                    self.telemetry.registry.counter(
+                        "channel.credit_stalls", channel=self.name).inc()
+                return
+            self._drain_parked = False
+            sim = self.sim
+            sim.schedule_entry(sim._now, self._drain_entry)
+
+    def _drain_loop(self) -> None:
+        """Serialize and ship outbox elements until blocked or drained.
+
+        Runs of queued elements are handled in one wake-up: each element
+        schedules its own serialize completion (``_ship``), which re-enters
+        this loop directly — no per-element Signal round-trip.
+        """
+        sim = self.sim
         while True:
-            while (self._closed
-                   or not self.outbox
-                   or self.credits <= 0
-                   or self.input_channel is None):
+            if (self._closed or not self.outbox or self.credits <= 0
+                    or self.input_channel is None):
                 if self._closed:
                     return
                 if (self.telemetry is not None and self.outbox
@@ -266,7 +344,8 @@ class Channel:
                     # Flow control, not emptiness, is stalling the drainer.
                     self.telemetry.registry.counter(
                         "channel.credit_stalls", channel=self.name).inc()
-                yield self._drain_wake.wait()
+                self._drain_parked = True
+                return
             element = self.outbox.popleft()
             if self.telemetry is not None:
                 registry = self.telemetry.registry
@@ -274,20 +353,32 @@ class Channel:
                                  channel=self.name).inc()
                 registry.counter("channel.bytes_shipped",
                                  channel=self.name).inc(element.size_bytes)
-            self._grant_sends()
+            if self._send_waiters:
+                self._grant_sends()
             self.credits -= 1
             self._in_flight += 1
-            epoch = self._epoch
             serialize = element.size_bytes / self.link.bandwidth
             if serialize > 0:
-                yield self.sim.timeout(serialize)
-            self.sim.call_in(
-                self.link.latency,
-                lambda e=element, ep=epoch: self._deliver(e, ep))
+                self._serializing = element
+                self._serializing_epoch = self._epoch
+                sim.schedule_entry(sim._now + serialize, self._ship_entry)
+                return
+            self._wire.append((element, self._epoch))
+            sim.schedule_entry(sim._now + self.link.latency,
+                               self._deliver_entry)
 
-    def _deliver(self, element: StreamElement, epoch: int = None) -> None:
+    def _ship(self) -> None:
+        """Serialize finished: put the element on the wire, keep draining."""
+        sim = self.sim
+        element, self._serializing = self._serializing, None
+        self._wire.append((element, self._serializing_epoch))
+        sim.schedule_entry(sim._now + self.link.latency, self._deliver_entry)
+        self._drain_loop()
+
+    def _deliver_next(self) -> None:
+        element, epoch = self._wire.popleft()
         self._in_flight -= 1
-        if epoch is not None and epoch != self._epoch:
+        if epoch != self._epoch:
             return  # flushed while in flight: dropped
         if self.input_channel is not None:
             self.input_channel.deliver(element)
@@ -302,6 +393,9 @@ class Channel:
 
 class InputChannel:
     """The receiver-side view of one channel: the per-channel input cache."""
+
+    __slots__ = ("instance", "name", "queue", "channel", "watermark",
+                 "block_tokens", "is_auxiliary")
 
     def __init__(self, instance: "OperatorInstance", name: str = ""):
         self.instance = instance
@@ -344,8 +438,11 @@ class InputChannel:
     def pop(self) -> StreamElement:
         """Consume the head element and return its flow-control credit."""
         element = self.queue.popleft()
-        if self.channel is not None:
-            self.channel._return_credit()
+        channel = self.channel
+        if channel is not None:
+            # Inlined _return_credit (hot path).
+            channel.credits += 1
+            channel._kick()
         return element
 
     def remove(self, element: StreamElement) -> None:

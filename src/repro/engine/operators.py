@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..simulation.kernel import Simulator
-from ..simulation.primitives import Signal
+from ..simulation.primitives import EdgeWake
 from .channels import InputChannel
 from .cluster import NodeSpec
 from .metrics import MetricsCollector
@@ -195,15 +195,19 @@ class DefaultInputHandler(InputHandler):
             self.suspended = False
             return None
         n = len(channels)
+        cursor = self._cursor % n
         saw_blocked_data = False
-        for offset in range(n):
-            channel = channels[(self._cursor + offset) % n]
-            if channel.blocked:
+        for _ in range(n):
+            channel = channels[cursor]
+            cursor += 1
+            if cursor == n:
+                cursor = 0
+            if channel.block_tokens:
                 if channel.queue:
                     saw_blocked_data = True
                 continue
             if channel.queue:
-                self._cursor = (self._cursor + offset + 1) % n
+                self._cursor = cursor
                 return channel, channel.pop()
         self.suspended = saw_blocked_data
         return None
@@ -229,7 +233,9 @@ class OperatorInstance:
         self.input_channels: List[InputChannel] = []
         self.router = OutputRouter(self)
         self.state = KeyedStateBackend(bytes_per_entry=spec.bytes_per_entry)
-        self.wake = Signal(sim)
+        # Edge-triggered: safe because _run re-checks every wake condition
+        # at the top of each iteration before parking (see EdgeWake docs).
+        self.wake = EdgeWake(sim)
         self.input_handler: InputHandler = DefaultInputHandler(self)
         #: Scaling hook: called for control-lane signals.
         self.control_handler: Optional[Callable[
@@ -322,6 +328,7 @@ class OperatorInstance:
     # -- main loop ------------------------------------------------------------------
 
     def _run(self):
+        sim = self.sim
         while self.running:
             if self.paused:
                 yield self.wake.wait()
@@ -343,7 +350,40 @@ class OperatorInstance:
             channel, element = polled
             self.processing_element = True
             try:
-                yield from self.handle_element(channel, element)
+                if element.is_record and self.element_interceptor is None:
+                    # Inlined copy of _handle_record (which stays the
+                    # canonical version, used via handle_element for
+                    # injected/in-band elements): records dominate the
+                    # element mix, and inlining skips one generator
+                    # allocation per record plus one frame per resumption.
+                    self.current_key_group = element.key_group
+                    try:
+                        count = element.count
+                        cost = (self.spec.service_time * count
+                                / self.node.speed)
+                        if cost > 0:
+                            start = sim.now
+                            yield cost
+                            self.busy_seconds += sim.now - start
+                        self.records_processed += count
+                        telemetry = self.job.telemetry
+                        if telemetry is not None:
+                            telemetry.registry.counter(
+                                "records.processed",
+                                operator=self.spec.name).inc(count)
+                        outputs = self.logic.on_record(element, self)
+                    finally:
+                        self.current_key_group = None
+                    router = self.router
+                    for out in outputs:
+                        if out.is_record:
+                            ev = router.emit_record_fast(out)
+                            if ev is not None:
+                                yield ev
+                                continue
+                        yield from router.emit(out)
+                else:
+                    yield from self.handle_element(channel, element)
             finally:
                 self.processing_element = False
 
@@ -365,52 +405,76 @@ class OperatorInstance:
 
     def handle_element(self, channel: Optional[InputChannel],
                        element: StreamElement):
-        """Generator that fully processes one element (may block emitting)."""
+        """Return an iterator that fully processes one element.
+
+        A plain function returning the per-kind handler *generator* rather
+        than a generator itself: callers ``yield from`` the result, and
+        skipping the wrapper frame saves one frame walk on every resumption
+        of the record hot path.  All callers iterate immediately, so running
+        the dispatch logic at call time instead of first-``next`` is
+        observably identical.
+        """
         if self.element_interceptor is not None:
             if self.element_interceptor(channel, element):
-                return
-        if isinstance(element, Record):
-            yield from self._handle_record(element)
-        elif isinstance(element, Watermark):
-            yield from self._handle_watermark(channel, element)
-        elif isinstance(element, LatencyMarker):
-            yield from self._handle_marker(element)
-        elif isinstance(element, CheckpointBarrier):
-            yield from self._handle_checkpoint_barrier(channel, element)
-        elif isinstance(element, ControlSignal):
+                return iter(())
+        # ``is_record`` is a class attribute (no isinstance call) — records
+        # dominate the element mix, so this branch goes first and cheap.
+        if element.is_record:
+            return self._handle_record(element)
+        if isinstance(element, Watermark):
+            return self._handle_watermark(channel, element)
+        if isinstance(element, LatencyMarker):
+            return self._handle_marker(element)
+        if isinstance(element, CheckpointBarrier):
+            return self._handle_checkpoint_barrier(channel, element)
+        if isinstance(element, ControlSignal):
             if getattr(self.job, "signal_router", None) is not None:
-                yield from self.job.signal_router(self, channel, element)
-            else:
-                self.on_control(channel, element)
-        elif isinstance(element, EndOfStream):
-            yield from self._handle_eos(channel, element)
+                return self.job.signal_router(self, channel, element)
+            self.on_control(channel, element)
+            return iter(())
+        if isinstance(element, EndOfStream):
+            return self._handle_eos(channel, element)
+        return iter(())
 
     def _handle_record(self, record: Record):
         self.current_key_group = record.key_group
         try:
-            cost = self.service_time(record.count)
+            count = record.count
+            cost = self.spec.service_time * count / self.node.speed
             if cost > 0:
                 start = self.sim.now
-                yield self.sim.timeout(cost)
+                yield cost  # bare-delay yield == sim.timeout(cost)
                 self.busy_seconds += self.sim.now - start
-            self.records_processed += record.count
+            self.records_processed += count
             telemetry = self.job.telemetry
             if telemetry is not None:
                 telemetry.registry.counter(
                     "records.processed",
-                    operator=self.spec.name).inc(record.count)
+                    operator=self.spec.name).inc(count)
             outputs = self.logic.on_record(record, self)
         finally:
             self.current_key_group = None
+        router = self.router
         for out in outputs:
-            yield from self.router.emit(out)
+            if out.is_record:
+                ev = router.emit_record_fast(out)
+                if ev is not None:
+                    yield ev
+                    continue
+            yield from router.emit(out)
 
     def _handle_watermark(self, channel: Optional[InputChannel],
                           watermark: Watermark):
         if channel is not None:
             channel.note_watermark(watermark)
-        new_wm = min((ch.watermark for ch in self.input_channels),
-                     default=watermark.timestamp)
+        channels = self.input_channels
+        if channels:
+            new_wm = channels[0].watermark
+            for ch in channels:
+                if ch.watermark < new_wm:
+                    new_wm = ch.watermark
+        else:
+            new_wm = watermark.timestamp
         if new_wm > self.current_watermark:
             self.current_watermark = new_wm
             outputs = self.logic.on_watermark(new_wm, self)

@@ -6,12 +6,18 @@ rates (20 K tuples/s) tractable in a Python DES while preserving queueing
 behaviour: service times, bytes on the wire and throughput accounting all
 scale with ``count``, while control elements (watermarks, barriers, latency
 markers) remain individual.
+
+These classes are deliberately *not* dataclasses: they sit on the record
+hot path, so they are plain ``__slots__`` classes with handwritten
+constructors (no ``__dict__``, no descriptor-driven defaults; also required
+for slots on Python 3.9, which lacks ``dataclass(slots=True)``).  Equality
+is identity — distinct records are never field-equal anyway, since every
+``Record``/``LatencyMarker`` carries a unique id.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 __all__ = [
@@ -36,17 +42,13 @@ class StreamElement:
     #: Nominal serialized size in bytes (used for bandwidth modelling).
     size_bytes: float = 64.0
 
-    @property
-    def is_record(self) -> bool:
-        return False
+    #: True for data records (class-level: cheaper than isinstance chains).
+    is_record: bool = False
 
-    @property
-    def is_time_signal(self) -> bool:
-        """True for elements intra-channel scheduling must never cross."""
-        return False
+    #: True for elements intra-channel scheduling must never cross.
+    is_time_signal: bool = False
 
 
-@dataclass
 class Record(StreamElement):
     """A keyed data record (or batch of ``count`` records of one key-group).
 
@@ -61,21 +63,26 @@ class Record(StreamElement):
             admission queue), used for end-to-end latency accounting.
     """
 
-    key: Any = None
-    key_group: Optional[int] = None
-    event_time: float = 0.0
-    value: Any = None
-    count: int = 1
-    size_bytes: float = 64.0
-    created_at: float = 0.0
-    record_id: int = field(default_factory=lambda: next(_record_ids))
+    __slots__ = ("key", "key_group", "event_time", "value", "count",
+                 "size_bytes", "created_at", "record_id")
 
-    @property
-    def is_record(self) -> bool:
-        return True
+    is_record = True
+
+    def __init__(self, key: Any = None, key_group: Optional[int] = None,
+                 event_time: float = 0.0, value: Any = None, count: int = 1,
+                 size_bytes: float = 64.0, created_at: float = 0.0,
+                 record_id: Optional[int] = None):
+        self.key = key
+        self.key_group = key_group
+        self.event_time = event_time
+        self.value = value
+        self.count = count
+        self.size_bytes = size_bytes
+        self.created_at = created_at
+        self.record_id = next(_record_ids) if record_id is None else record_id
 
     def copy_with(self, **changes: Any) -> "Record":
-        """A shallow copy with selected fields replaced."""
+        """A shallow copy with selected fields replaced (fresh record_id)."""
         fields = dict(
             key=self.key,
             key_group=self.key_group,
@@ -88,20 +95,29 @@ class Record(StreamElement):
         fields.update(changes)
         return Record(**fields)
 
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"Record(key={self.key!r}, key_group={self.key_group!r}, "
+                f"event_time={self.event_time!r}, value={self.value!r}, "
+                f"count={self.count!r}, size_bytes={self.size_bytes!r}, "
+                f"created_at={self.created_at!r}, "
+                f"record_id={self.record_id!r})")
 
-@dataclass
+
 class Watermark(StreamElement):
     """Event-time watermark: no later element carries event time < this."""
 
-    timestamp: float = 0.0
-    size_bytes: float = 16.0
+    __slots__ = ("timestamp", "size_bytes")
 
-    @property
-    def is_time_signal(self) -> bool:
-        return True
+    is_time_signal = True
+
+    def __init__(self, timestamp: float = 0.0, size_bytes: float = 16.0):
+        self.timestamp = timestamp
+        self.size_bytes = size_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Watermark(timestamp={self.timestamp!r})"
 
 
-@dataclass
 class LatencyMarker(StreamElement):
     """End-to-end latency probe.
 
@@ -111,25 +127,37 @@ class LatencyMarker(StreamElement):
     deterministically.
     """
 
-    emitted_at: float = 0.0
-    key: Any = None
-    key_group: Optional[int] = None
-    size_bytes: float = 16.0
-    marker_id: int = field(default_factory=lambda: next(_marker_ids))
+    __slots__ = ("emitted_at", "key", "key_group", "size_bytes", "marker_id")
+
+    def __init__(self, emitted_at: float = 0.0, key: Any = None,
+                 key_group: Optional[int] = None, size_bytes: float = 16.0,
+                 marker_id: Optional[int] = None):
+        self.emitted_at = emitted_at
+        self.key = key
+        self.key_group = key_group
+        self.size_bytes = size_bytes
+        self.marker_id = next(_marker_ids) if marker_id is None else marker_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"LatencyMarker(emitted_at={self.emitted_at!r}, "
+                f"key={self.key!r}, marker_id={self.marker_id!r})")
 
 
-@dataclass
 class CheckpointBarrier(StreamElement):
     """Aligned-checkpoint barrier (Chandy-Lamport style, as in Flink)."""
 
-    checkpoint_id: int = 0
-    size_bytes: float = 16.0
+    __slots__ = ("checkpoint_id", "size_bytes")
 
-    @property
-    def is_time_signal(self) -> bool:
-        # Intra-channel scheduling must never reorder across a checkpoint
-        # barrier: it defines the snapshot's consistent cut.
-        return True
+    # Intra-channel scheduling must never reorder across a checkpoint
+    # barrier: it defines the snapshot's consistent cut.
+    is_time_signal = True
+
+    def __init__(self, checkpoint_id: int = 0, size_bytes: float = 16.0):
+        self.checkpoint_id = checkpoint_id
+        self.size_bytes = size_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"CheckpointBarrier(checkpoint_id={self.checkpoint_id!r})"
 
 
 class ControlSignal(StreamElement):
@@ -138,8 +166,9 @@ class ControlSignal(StreamElement):
     size_bytes: float = 16.0
 
 
-@dataclass
 class EndOfStream(StreamElement):
     """Marks the end of a finite stream (used by trace-driven workloads)."""
+
+    __slots__ = ()
 
     size_bytes: float = 8.0

@@ -30,7 +30,14 @@ class Partitioning(enum.Enum):
 
 
 class OutputEdge:
-    """One sender instance's view of an edge to a downstream operator."""
+    """One sender instance's view of an edge to a downstream operator.
+
+    Keyed (HASH) lookups go through a key-group → channel cache; every
+    routing-table or channel-list change (a re-route epoch, from this
+    sender's perspective) must call :meth:`invalidate_cache` — done by
+    :meth:`set_routing`/:meth:`add_channel`, and explicitly by runtime code
+    that trims ``channels`` in place.
+    """
 
     def __init__(self, name: str, partitioning: Partitioning,
                  num_key_groups: int = 0,
@@ -43,10 +50,13 @@ class OutputEdge:
         #: key-group -> index into ``channels``; private to this sender.
         self.routing_table: Dict[int, int] = {}
         self._rr = 0
+        #: key-group -> Channel, derived from routing_table + channels.
+        self._channel_cache: Dict[int, Channel] = {}
 
     def add_channel(self, channel: Channel) -> int:
         """Register a channel to a (possibly new) downstream instance."""
         self.channels.append(channel)
+        self.invalidate_cache()
         return len(self.channels) - 1
 
     def set_routing(self, key_group: int, target_index: int) -> None:
@@ -55,21 +65,31 @@ class OutputEdge:
                 f"target {target_index} out of range "
                 f"({len(self.channels)} channels)")
         self.routing_table[key_group] = target_index
+        self.invalidate_cache()
+
+    def invalidate_cache(self) -> None:
+        """Drop the key-group → channel cache (routing changed)."""
+        self._channel_cache.clear()
 
     def channel_for_record(self, record: Record) -> Channel:
-        if self.partitioning is Partitioning.HASH:
+        partitioning = self.partitioning
+        if partitioning is Partitioning.HASH:
             kg = record.key_group
             if kg is None:
                 kg = key_to_key_group(record.key, self.num_key_groups)
                 record.key_group = kg
-            return self.channels[self.routing_table[kg]]
-        if self.partitioning is Partitioning.FORWARD:
+            channel = self._channel_cache.get(kg)
+            if channel is None:
+                channel = self.channels[self.routing_table[kg]]
+                self._channel_cache[kg] = channel
+            return channel
+        if partitioning is Partitioning.FORWARD:
             return self.channels[self.sender_index % len(self.channels)]
-        if self.partitioning is Partitioning.REBALANCE:
+        if partitioning is Partitioning.REBALANCE:
             channel = self.channels[self._rr % len(self.channels)]
             self._rr += 1
             return channel
-        raise ValueError(f"record on {self.partitioning} edge")
+        raise ValueError(f"record on {partitioning} edge")
 
     def channel_for_marker(self, marker: LatencyMarker) -> Channel:
         if self.partitioning is Partitioning.HASH:
@@ -77,11 +97,13 @@ class OutputEdge:
             if kg is None:
                 kg = key_to_key_group(marker.key, self.num_key_groups)
                 marker.key_group = kg
-            return self.channels[self.routing_table[kg]]
-        if self.partitioning is Partitioning.FORWARD:
-            return self.channels[self.sender_index % len(self.channels)]
-        # Rebalance/broadcast edges: pin markers to one path for stable
-        # measurements.
+            channel = self._channel_cache.get(kg)
+            if channel is None:
+                channel = self.channels[self.routing_table[kg]]
+                self._channel_cache[kg] = channel
+            return channel
+        # Forward/rebalance/broadcast edges: pin markers to one path for
+        # stable measurements.
         return self.channels[self.sender_index % len(self.channels)]
 
 
@@ -94,6 +116,23 @@ class OutputRouter:
 
     def add_edge(self, edge: OutputEdge) -> None:
         self.edges.append(edge)
+
+    def emit_record_fast(self, record: Record):
+        """Single-edge record emission without the generator machinery.
+
+        Returns the one send event when this router has exactly one
+        non-broadcast edge with channels — the overwhelmingly common record
+        path — or ``None``, in which case the caller must fall back to
+        :meth:`emit`.  Semantically identical to ``emit(record)``: same
+        single ``channel_for_record`` + ``send`` call, minus one generator.
+        """
+        edges = self.edges
+        if len(edges) == 1:
+            edge = edges[0]
+            if edge.partitioning is not Partitioning.BROADCAST \
+                    and edge.channels:
+                return edge.channel_for_record(record).send(record)
+        return None
 
     def emit(self, element: StreamElement):
         """Generator: yields until the element is accepted everywhere.

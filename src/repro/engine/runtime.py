@@ -128,12 +128,16 @@ class SourceInstance(OperatorInstance):
                 continue
             element = self.pending.popleft()
             self.consumed_elements += 1
-            cost = self.service_time(
-                element.count if isinstance(element, Record) else 1)
+            is_record = element.is_record
+            cost = self.service_time(element.count if is_record else 1)
             if cost > 0:
-                yield self.sim.timeout(cost)
-            if isinstance(element, Record):
-                yield from self.router.emit(element)
+                yield cost  # bare-delay yield == sim.timeout(cost)
+            if is_record:
+                ev = self.router.emit_record_fast(element)
+                if ev is not None:
+                    yield ev
+                else:
+                    yield from self.router.emit(element)
                 self.emitted_records += element.count
                 self.metrics.record_source_output(self.sim.now,
                                                   element.count)
@@ -397,6 +401,7 @@ class StreamJob:
             for channel in edge.channels[keep:]:
                 channel.close()
             del edge.channels[keep:]
+            edge.invalidate_cache()  # channels mutated in place
         for instance in removed:
             instance.stop()
             for channel in instance.router.all_channels():

@@ -1,0 +1,61 @@
+"""Pre-PR benchmark numbers, recorded with this exact harness.
+
+Measured at commit 17cc357 (the last commit before the hot-path overhaul)
+by checking that commit out into a scratch worktree, copying this harness
+in, and running it there.  Pre-PR and post-PR runs were *interleaved* on
+the same machine and each number below is the best of 3 runs — single-box
+wall-clock throughput fluctuates by well over 1.5x between batches, so
+only same-session interleaved pairs give a defensible ratio.  ``repro
+bench`` embeds these under ``pre_pr`` in the ``BENCH_*.json`` output and
+reports ``speedup_vs_pre_pr`` against them, so the acceptance target
+(>= 2x e2e records/sec) is checked against the same scenario and harness.
+
+Recorded 2026-08-05.
+"""
+
+PRE_PR_BASELINE = {
+    "kernel": {
+        "full": {
+            "timeout_storm": {"events": 100200, "wall_s": 0.1778,
+                              "events_per_s": 563467.4},
+            "callback_chain": {"callbacks": 100000, "wall_s": 0.1180,
+                               "callbacks_per_s": 847815.6},
+            "event_pingpong": {"rounds": 100000, "wall_s": 0.3697,
+                               "rounds_per_s": 270522.1},
+            "channel_throughput": {"elements": 100000, "wall_s": 1.4854,
+                                   "elements_per_s": 67321.3,
+                                   "kernel_events": 529178},
+        },
+        "smoke": {
+            "timeout_storm": {"events": 10100, "wall_s": 0.0164,
+                              "events_per_s": 614755.0},
+            "callback_chain": {"callbacks": 20000, "wall_s": 0.0232,
+                               "callbacks_per_s": 862406.9},
+            "event_pingpong": {"rounds": 20000, "wall_s": 0.0721,
+                               "rounds_per_s": 277207.5},
+            "channel_throughput": {"elements": 20000, "wall_s": 0.2512,
+                                   "elements_per_s": 79627.3,
+                                   "kernel_events": 102944},
+        },
+    },
+    "e2e": {
+        "full": {
+            "scenario": "nexmark-q7/quick/until=30",
+            "source_records": 600000,
+            "sink_records": 7386,
+            "kernel_events": 102806,
+            "wall_s": 0.6241,
+            "records_per_sec": 961397.6,
+            "events_per_sec": 164729.1,
+        },
+        "smoke": {
+            "scenario": "nexmark-q7/quick/until=8",
+            "source_records": 160000,
+            "sink_records": 1786,
+            "kernel_events": 26394,
+            "wall_s": 0.1606,
+            "records_per_sec": 996533.0,
+            "events_per_sec": 164390.6,
+        },
+    },
+}

@@ -1,7 +1,7 @@
 """Discrete-event simulation substrate: kernel, primitives, randomness."""
 
 from .kernel import Event, Interrupt, Process, SimulationError, Simulator
-from .primitives import BoundedStore, Semaphore, Signal
+from .primitives import BoundedStore, EdgeWake, Semaphore, Signal
 from .randomness import ZipfSampler, exponential_interarrival, make_rng
 
 __all__ = [
@@ -11,6 +11,7 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "BoundedStore",
+    "EdgeWake",
     "Semaphore",
     "Signal",
     "ZipfSampler",

@@ -18,6 +18,19 @@ Example::
 
     sim.spawn(ping(sim, 1.0))
     sim.run(until=5.0)
+
+Hot-path notes (see ``docs/performance.md``):
+
+* Heap entries are ``(time, counter, entry)`` where ``entry`` is either an
+  :class:`Event` or a bare :class:`_Callback` — ``call_at``/``call_in`` skip
+  the full Event machinery.  Both respond to ``_dispatch()``.
+* Tie-break order on equal times is the global ``counter`` draw order.  Any
+  optimization here must preserve the *relative* order of counter draws for
+  retained events; removing a draw-less dispatch (e.g. skipping a defunct
+  timeout) shifts nothing and is safe, while reordering draws is not.
+* Cancelled waits are marked ``_defunct`` and skipped on pop instead of
+  being sifted out of the heap (lazy cancellation).  Defunct dispatches do
+  not count toward ``events_processed``.
 """
 
 from __future__ import annotations
@@ -51,6 +64,29 @@ class Interrupt(Exception):
         self.cause = cause
 
 
+class _Callback:
+    """A bare heap entry that runs a function at its scheduled time.
+
+    Carries none of the Event machinery: no value, no waiters, no triggered
+    state.  This is what ``call_at``/``call_in`` push, and what
+    ``Event.add_callback`` pushes for already-processed events.
+    """
+
+    __slots__ = ("fn", "_defunct")
+
+    def __init__(self, fn: Callable[[], None]):
+        self.fn = fn
+        self._defunct = False
+
+    def _dispatch(self) -> None:
+        self.fn()
+
+
+#: Sentinel stored in ``Process._waiting_on`` while the process sleeps on a
+#: bare-delay yield (no Event exists to point at).
+_TIMEOUT_WAIT = object()
+
+
 class Event:
     """A one-shot occurrence that processes can wait on.
 
@@ -61,7 +97,7 @@ class Event:
     """
 
     __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered",
-                 "_processed", "_scheduled")
+                 "_processed", "_scheduled", "_defunct")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -74,6 +110,8 @@ class Event:
         # (timeouts, call_at): they cannot be succeeded manually, but they
         # have NOT fired yet — composites must wait for them.
         self._scheduled = False
+        # Lazily-cancelled: still in the heap, skipped at dispatch.
+        self._defunct = False
 
     @property
     def triggered(self) -> bool:
@@ -100,7 +138,8 @@ class Event:
         self._triggered = True
         self._value = value
         self._ok = True
-        self.sim._schedule_event(self)
+        sim = self.sim
+        heapq.heappush(sim._heap, (sim._now, next(sim._counter), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -112,7 +151,8 @@ class Event:
         self._triggered = True
         self._value = exception
         self._ok = False
-        self.sim._schedule_event(self)
+        sim = self.sim
+        heapq.heappush(sim._heap, (sim._now, next(sim._counter), self))
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -120,21 +160,25 @@ class Event:
         if self.callbacks is None:
             # Already processed: run at the current time, preserving ordering
             # relative to other same-time activity via the event heap.
-            immediate = Event(self.sim)
-            immediate.callbacks.append(lambda _ev: callback(self))
-            immediate._value = self._value
-            immediate._ok = self._ok
-            immediate._triggered = True
-            self.sim._schedule_event(immediate)
+            sim = self.sim
+            heapq.heappush(
+                sim._heap,
+                (sim._now, next(sim._counter),
+                 _Callback(lambda: callback(self))))
         else:
             self.callbacks.append(callback)
 
-    def _process(self) -> None:
+    def _dispatch(self) -> None:
+        self._triggered = True
         callbacks, self.callbacks = self.callbacks, None
         self._processed = True
         if callbacks:
             for callback in callbacks:
                 callback(self)
+
+    def _process(self) -> None:
+        # Backwards-compatible alias (pre-overhaul dispatch entry point).
+        self._dispatch()
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         state = "processed" if self._processed else (
@@ -148,7 +192,13 @@ class AnyOf(Event):
     The value is the child event that fired first.  Used by components that
     must react to whichever of several things happens first (e.g. "a record
     arrived OR the migration completed").
+
+    When the first child fires, the composite detaches from the remaining
+    children; a heap-scheduled child (timeout) left with no other observers
+    is marked defunct so it does not linger until its fire time.
     """
+
+    __slots__ = ("_children",)
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
@@ -162,12 +212,27 @@ class AnyOf(Event):
             child.add_callback(self._on_child)
 
     def _on_child(self, child: Event) -> None:
-        if not self.triggered:
-            self.succeed(child)
+        if self._triggered:
+            return
+        self.succeed(child)
+        for other in self._children:
+            if other is child:
+                continue
+            callbacks = other.callbacks
+            if callbacks is None:
+                continue
+            try:
+                callbacks.remove(self._on_child)
+            except ValueError:
+                continue
+            if not callbacks and other._scheduled and not other._triggered:
+                other._defunct = True
 
 
 class AllOf(Event):
     """Composite event that fires once every child event has fired."""
+
+    __slots__ = ("_children", "_remaining")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
@@ -189,10 +254,15 @@ class AllOf(Event):
 class Process(Event):
     """A running generator.  Also an event: fires when the generator ends.
 
-    Yield protocol: the generator must yield :class:`Event` instances.  When
-    the yielded event fires, the process resumes with the event's value (or
-    the exception, for failed events).
+    Yield protocol: the generator yields :class:`Event` instances — or a
+    bare ``float``/``int`` delay, shorthand for ``sim.timeout(delay)``
+    without the Event allocation (same heap position, same counter draw).
+    When the yielded event fires, the process resumes with the event's value
+    (or the exception, for failed events); a bare delay resumes with
+    ``None``.
     """
+
+    __slots__ = ("_generator", "name", "_waiting_on", "_timeout_entry")
 
     def __init__(self, sim: "Simulator", generator: Generator,
                  name: str = ""):
@@ -200,11 +270,15 @@ class Process(Event):
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
+        #: Reusable heap entry for bare-delay yields; at most one
+        #: outstanding position (recreated after an interrupt leaves a
+        #: stale, defunct-marked one behind).
+        self._timeout_entry: Optional[_Callback] = None
         # Kick off the process at the current time.
         start = Event(sim)
         start._triggered = True
         start.callbacks.append(self._resume)
-        sim._schedule_event(start)
+        heapq.heappush(sim._heap, (sim._now, next(sim._counter), start))
 
     @property
     def is_alive(self) -> bool:
@@ -213,53 +287,121 @@ class Process(Event):
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time.
 
-        No-op if the process has already finished.
+        No-op if the process has already finished.  The abandoned wait is
+        detached: its callback is removed so a later fire cannot spuriously
+        resume the process, and a heap-scheduled wait left with no other
+        observers is marked defunct (lazy cancellation).
         """
         if self.triggered:
             return
+        target = self._waiting_on
+        if target is _TIMEOUT_WAIT:
+            # Waiting on a bare-delay entry: mark it defunct in place (lazy
+            # cancellation) and drop it so a later delay gets a fresh one.
+            self._waiting_on = None
+            entry = self._timeout_entry
+            if entry is not None:
+                entry._defunct = True
+                self._timeout_entry = None
+        elif target is not None:
+            self._waiting_on = None
+            callbacks = target.callbacks
+            if callbacks is not None:
+                try:
+                    callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+                else:
+                    if (not callbacks and target._scheduled
+                            and not target._triggered):
+                        target._defunct = True
         wake = Event(self.sim)
         wake._triggered = True
         wake._ok = False
         wake._value = Interrupt(cause)
         wake.callbacks.append(self._resume)
-        self.sim._schedule_event(wake)
+        sim = self.sim
+        heapq.heappush(sim._heap, (sim._now, next(sim._counter), wake))
 
     def _resume(self, event: Event) -> None:
-        if self.triggered:  # finished while the wake-up was in flight
+        if self._triggered:  # finished while the wake-up was in flight
             return
         self._waiting_on = None
-        try:
-            if event.ok:
-                target = self._generator.send(event.value)
-            else:
-                target = self._generator.throw(event.value)
-        except StopIteration as stop:
-            self.succeed(stop.value)
+        gen = self._generator
+        while True:
+            try:
+                if event._ok:
+                    target = gen.send(event._value)
+                else:
+                    target = gen.throw(event._value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except Interrupt:
+                # An un-caught interrupt terminates the process quietly.
+                self.succeed(None)
+                return
+            kind = type(target)
+            if kind is float or kind is int:
+                # Bare-delay yield: same heap position and counter draw as
+                # `yield sim.timeout(delay)`, minus the Event allocation.
+                if target < 0:
+                    raise SimulationError(f"negative timeout: {target}")
+                entry = self._timeout_entry
+                if entry is None:
+                    entry = self._timeout_entry = _Callback(
+                        self._timeout_fire)
+                self._waiting_on = _TIMEOUT_WAIT
+                sim = self.sim
+                heapq.heappush(
+                    sim._heap,
+                    (sim._now + target, next(sim._counter), entry))
+                return
+            if not isinstance(target, Event):
+                raise SimulationError(
+                    f"process {self.name!r} yielded {target!r}; "
+                    "processes must yield Event instances")
+            if target._processed:
+                # Already-past event (the shared `done` singleton, or any
+                # event that fired in an earlier dispatch): resume
+                # synchronously instead of round-tripping a bare callback
+                # through the event heap — no counter draw, no dispatch.
+                event = target
+                continue
+            self._waiting_on = target
+            # Not processed, so `callbacks` is a live list (add_callback
+            # minus the processed-path branch).
+            target.callbacks.append(self._resume)
             return
-        except Interrupt:
-            # An un-caught interrupt terminates the process quietly.
-            self.succeed(None)
-            return
-        if not isinstance(target, Event):
-            raise SimulationError(
-                f"process {self.name!r} yielded {target!r}; "
-                "processes must yield Event instances")
-        self._waiting_on = target
-        target.add_callback(self._resume)
+
+    def _timeout_fire(self) -> None:
+        """Dispatch target of the reusable bare-delay heap entry."""
+        if self._waiting_on is _TIMEOUT_WAIT:
+            self._resume(self.sim.done)
 
 
 class Simulator:
     """The event loop: owns simulated time and the pending-event heap."""
 
+    __slots__ = ("_now", "_heap", "_counter", "_event_count",
+                 "dispatch_probe", "_done")
+
     def __init__(self):
         self._now = 0.0
-        self._heap: List[Tuple[float, int, Event]] = []
+        self._heap: List[Tuple[float, int, Any]] = []
         self._counter = itertools.count()
         self._event_count = 0
         #: Optional zero-arg telemetry hook invoked once per dispatched
         #: event.  None (the default) keeps dispatch on the fast path; the
         #: hook must not schedule simulation events.
         self.dispatch_probe: Optional[Callable[[], None]] = None
+        # Shared pre-succeeded event for already-satisfied waits (see
+        # the `done` property).
+        done = Event(self)
+        done._triggered = True
+        done._processed = True
+        done.callbacks = None
+        self._done = done
 
     @property
     def now(self) -> float:
@@ -276,6 +418,33 @@ class Simulator:
     def event(self) -> Event:
         """A fresh pending event; fire it with ``.succeed(value)``."""
         return Event(self)
+
+    @property
+    def done(self) -> Event:
+        """The shared, already-processed success event (value ``None``).
+
+        Hand this to a waiter whose wait is already satisfied and carries no
+        value: no allocation, no heap push at hand-out time.  A process that
+        yields it resumes via the processed-event path of
+        :meth:`Event.add_callback`, which draws its counter at yield time —
+        so only return ``done`` where no other counter draw can occur
+        between hand-out and yield.
+        """
+        return self._done
+
+    def completed(self, value: Any = None) -> Event:
+        """An event already fired at the current time, carrying ``value``.
+
+        Equivalent to ``sim.event().succeed(value)`` — same counter draw,
+        same dispatch — minus the guard checks.  This is the accepted-send
+        fast path: callers that must hand a waiter an event firing "now"
+        without reordering anything.
+        """
+        ev = Event(self)
+        ev._triggered = True
+        ev._value = value
+        heapq.heappush(self._heap, (self._now, next(self._counter), ev))
+        return ev
 
     def timeout(self, delay: float, value: Any = None) -> Event:
         """An event that fires ``delay`` seconds from now."""
@@ -300,18 +469,34 @@ class Simulator:
         return Process(self, generator, name=name)
 
     def call_at(self, when: float, callback: Callable[[], None]) -> None:
-        """Run ``callback()`` at absolute simulated time ``when``."""
+        """Run ``callback()`` at absolute simulated time ``when``.
+
+        Cheaper than spawning a process or succeeding an event: the heap
+        entry is a bare :class:`_Callback`, not an :class:`Event`.
+        """
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule at {when}; now is {self._now}")
-        ev = Event(self)
-        ev._scheduled = True
-        ev.callbacks.append(lambda _e: callback())
-        heapq.heappush(self._heap, (when, next(self._counter), ev))
+        heapq.heappush(self._heap,
+                       (when, next(self._counter), _Callback(callback)))
 
     def call_in(self, delay: float, callback: Callable[[], None]) -> None:
         """Run ``callback()`` ``delay`` seconds from now."""
         self.call_at(self._now + delay, callback)
+
+    def schedule_entry(self, when: float, entry: "_Callback") -> None:
+        """Push a caller-owned heap entry (``_Callback`` or compatible).
+
+        Hot-path variant of :meth:`call_at` for callers that reuse one
+        entry object across many schedules (e.g. a channel drainer): no
+        per-call wrapper allocation.  The same entry may sit in the heap at
+        several positions at once; ``_dispatch()`` runs once per pop.  The
+        caller must never mark a reused entry ``_defunct``.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when}; now is {self._now}")
+        heapq.heappush(self._heap, (when, next(self._counter), entry))
 
     # -- scheduling internals ----------------------------------------------
 
@@ -321,35 +506,124 @@ class Simulator:
     # -- execution -----------------------------------------------------------
 
     def step(self) -> bool:
-        """Process one event.  Returns False when the heap is empty."""
-        if not self._heap:
-            return False
-        when, _seq, event = heapq.heappop(self._heap)
-        if when < self._now:
-            raise SimulationError("event heap went backwards in time")
-        self._now = when
-        self._event_count += 1
-        if self.dispatch_probe is not None:
-            self.dispatch_probe()
-        event._triggered = True
-        event._process()
-        return True
+        """Process one event.  Returns False when the heap is empty.
+
+        Defunct (lazily-cancelled) entries are discarded without counting
+        as a processed event.
+        """
+        heap = self._heap
+        while heap:
+            when, _seq, entry = heapq.heappop(heap)
+            if entry._defunct:
+                continue
+            if when < self._now:
+                raise SimulationError("event heap went backwards in time")
+            self._now = when
+            self._event_count += 1
+            if self.dispatch_probe is not None:
+                self.dispatch_probe()
+            entry._dispatch()
+            return True
+        return False
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the heap drains or simulated time passes ``until``.
 
         Returns the simulated time at which execution stopped.
+
+        The loop is inlined (no per-event ``step()`` call) and pops runs of
+        same-time events in an inner loop: a dispatch can only push entries
+        with *later* counters, so draining the equal-time prefix before
+        re-checking ``until`` preserves tie-break order exactly.
         """
-        if until is None:
-            while self.step():
-                pass
+        heap = self._heap
+        pop = heapq.heappop
+        count = 0
+        try:
+            if self.dispatch_probe is None:
+                # Probe-off fast loop: no per-event hook check.  If a
+                # dispatch installs a probe mid-run we fall through to the
+                # instrumented loop below on the next outer iteration.
+                if until is None:
+                    while heap and self.dispatch_probe is None:
+                        when, _seq, entry = pop(heap)
+                        if entry._defunct:
+                            continue
+                        self._now = when
+                        count += 1
+                        entry._dispatch()
+                        # Batched same-time pops: drain the equal-time run.
+                        while heap and heap[0][0] == when:
+                            _w, _s, entry = pop(heap)
+                            if entry._defunct:
+                                continue
+                            count += 1
+                            entry._dispatch()
+                else:
+                    while (heap and heap[0][0] <= until
+                           and self.dispatch_probe is None):
+                        when, _seq, entry = pop(heap)
+                        if entry._defunct:
+                            continue
+                        self._now = when
+                        count += 1
+                        entry._dispatch()
+                        while heap and heap[0][0] == when:
+                            _w, _s, entry = pop(heap)
+                            if entry._defunct:
+                                continue
+                            count += 1
+                            entry._dispatch()
+                if self.dispatch_probe is None:
+                    if until is not None and self._now < until:
+                        self._now = until
+                    return self._now
+            if until is None:
+                while heap:
+                    when, _seq, entry = pop(heap)
+                    if entry._defunct:
+                        continue
+                    self._now = when
+                    count += 1
+                    if self.dispatch_probe is not None:
+                        self.dispatch_probe()
+                    entry._dispatch()
+                    # Batched same-time pops: drain the equal-time run.
+                    while heap and heap[0][0] == when:
+                        _w, _s, entry = pop(heap)
+                        if entry._defunct:
+                            continue
+                        count += 1
+                        if self.dispatch_probe is not None:
+                            self.dispatch_probe()
+                        entry._dispatch()
+                return self._now
+            while heap and heap[0][0] <= until:
+                when, _seq, entry = pop(heap)
+                if entry._defunct:
+                    continue
+                self._now = when
+                count += 1
+                if self.dispatch_probe is not None:
+                    self.dispatch_probe()
+                entry._dispatch()
+                while heap and heap[0][0] == when:
+                    _w, _s, entry = pop(heap)
+                    if entry._defunct:
+                        continue
+                    count += 1
+                    if self.dispatch_probe is not None:
+                        self.dispatch_probe()
+                    entry._dispatch()
+            if self._now < until:
+                self._now = until
             return self._now
-        while self._heap and self._heap[0][0] <= until:
-            self.step()
-        if self._now < until:
-            self._now = until
-        return self._now
+        finally:
+            self._event_count += count
 
     def peek(self) -> float:
         """Time of the next pending event, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        heap = self._heap
+        while heap and heap[0][2]._defunct:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else float("inf")

@@ -18,7 +18,7 @@ from typing import Any, Deque, List, Optional
 
 from .kernel import Event, SimulationError, Simulator
 
-__all__ = ["Signal", "BoundedStore", "Semaphore"]
+__all__ = ["Signal", "EdgeWake", "BoundedStore", "Semaphore"]
 
 
 class Signal:
@@ -36,12 +36,12 @@ class Signal:
         self._pending = False
 
     def wait(self) -> Event:
-        ev = self._sim.event()
         if self._pending:
             self._pending = False
-            ev.succeed()
-        else:
-            self._waiters.append(ev)
+            # Same counter draw `event().succeed()` made, minus the guards.
+            return self._sim.completed()
+        ev = self._sim.event()
+        self._waiters.append(ev)
         return ev
 
     def fire(self) -> None:
@@ -52,6 +52,40 @@ class Signal:
                     ev.succeed()
         else:
             self._pending = True
+
+
+class EdgeWake:
+    """Edge-triggered wake-up: a :meth:`fire` with no waiter is dropped.
+
+    Strictly cheaper than :class:`Signal` — no pending latch means no
+    spurious wake/re-poll round-trip through the event heap when a producer
+    fires while the consumer is busy.  It is only correct for consumers that
+    re-check *all* of their wake conditions immediately before each
+    :meth:`wait`, with no simulation dispatch in between (the operator and
+    source main loops do exactly this: the wakeable state — input queues,
+    in-band functions, pause/stop flags — is re-read at the top of every
+    loop iteration, so a dropped fire can never strand observable work).
+    One-shot waiters that may :meth:`wait` *after* the producer fired must
+    keep using :class:`Signal`.
+    """
+
+    __slots__ = ("_sim", "_waiters")
+
+    def __init__(self, sim: Simulator):
+        self._sim = sim
+        self._waiters: List[Event] = []
+
+    def wait(self) -> Event:
+        ev = self._sim.event()
+        self._waiters.append(ev)
+        return ev
+
+    def fire(self) -> None:
+        if self._waiters:
+            waiters, self._waiters = self._waiters, []
+            for ev in waiters:
+                if not ev.triggered:
+                    ev.succeed()
 
 
 class BoundedStore:

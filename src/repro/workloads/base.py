@@ -115,26 +115,44 @@ def drive_source(job: StreamJob, source: SourceInstance,
     rng = make_rng(rng_seed if rng_seed is not None else config.seed)
     sampler = ZipfSampler(config.num_keys, config.skew, rng)
     gap = config.batch_size / rate
+    # Zipf keeps the working set of keys small; cache the key strings so the
+    # per-record f-string (and its hash, via str interning of the cached
+    # object) is paid once per distinct key.
+    key_cache: dict = {}
     next_marker = config.marker_interval
     next_watermark = config.watermark_interval
     deadline = (sim.now + config.duration
                 if config.duration is not None else None)
-    while deadline is None or sim.now < deadline:
-        key_index = sampler.sample()
-        key = f"{key_prefix}{key_index}"
+    # Per-iteration hot-loop locals (``sim.now`` is a property call).
+    offer = source.offer
+    sample = sampler.sample
+    get_key = key_cache.get
+    batch_size = config.batch_size
+    batch_bytes = config.record_bytes * config.batch_size
+    marker_interval = config.marker_interval
+    watermark_interval = config.watermark_interval
+    watermark_lag = config.watermark_lag
+    while True:
+        now = sim.now
+        if deadline is not None and now >= deadline:
+            break
+        key_index = sample()
+        key = get_key(key_index)
+        if key is None:
+            key = f"{key_prefix}{key_index}"
+            key_cache[key_index] = key
         value = make_value(rng, key_index) if make_value is not None else None
-        source.offer(Record(
+        offer(Record(
             key=key,
-            event_time=sim.now,
+            event_time=now,
             value=value,
-            count=config.batch_size,
-            size_bytes=config.record_bytes * config.batch_size,
+            count=batch_size,
+            size_bytes=batch_bytes,
         ))
-        if emit_markers and sim.now >= next_marker:
-            source.offer(LatencyMarker(key=key))
-            next_marker = sim.now + config.marker_interval
-        if sim.now >= next_watermark:
-            source.offer(Watermark(
-                timestamp=sim.now - config.watermark_lag))
-            next_watermark = sim.now + config.watermark_interval
-        yield sim.timeout(gap)
+        if emit_markers and now >= next_marker:
+            offer(LatencyMarker(key=key))
+            next_marker = now + marker_interval
+        if now >= next_watermark:
+            offer(Watermark(timestamp=now - watermark_lag))
+            next_watermark = now + watermark_interval
+        yield gap  # bare-delay yield == sim.timeout(gap)

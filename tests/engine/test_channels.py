@@ -278,3 +278,59 @@ def test_inject_confirm_redirects_blocked_waiters_always():
         lambda e: getattr(e, "key_group", None) == 1, WM(timestamp=1.0))
     # waiters are logically behind the cache: always redirected
     assert len(bypassed) >= 1
+
+
+def test_closed_channel_send_returns_shared_event_without_heap_growth():
+    sim = Simulator()
+    channel, inbox, _r = make_pair(sim)
+    sim.run()  # let construction-time events settle
+    channel.close()
+    heap_before = len(sim._heap)
+    events = [channel.send(Record(key=f"k{i}", size_bytes=10))
+              for i in range(50)]
+    # Every send is accepted-and-dropped via the one shared pre-succeeded
+    # event: no per-send allocation, and the heap does not grow.
+    assert all(ev is sim.done for ev in events)
+    assert len(sim._heap) == heap_before
+    sim.run()
+    assert len(inbox) == 0
+
+
+def test_send_front_and_extract_outbox_order_under_backpressure():
+    # A slow link keeps the outbox full: senders block, elements queue.
+    sim = Simulator()
+    channel, inbox, _r = make_pair(sim, bandwidth=100.0, outbox=3, inbox=16)
+    accepted = []
+
+    def sender():
+        for i in range(6):
+            yield channel.send(Record(key=i, key_group=i % 2,
+                                      size_bytes=10))
+            accepted.append(i)
+
+    sim.spawn(sender())
+    sim.run(until=0.01)
+    # Record 0 is mid-serialize, 1-3 queue in the outbox, 4 is blocked.
+    assert accepted == [0, 1, 2, 3]
+
+    # A control element jumps the queued data...
+    priority = Watermark(timestamp=1.0)
+    channel.send_front(priority)
+    # ...and extract_outbox removes queued matches (records 1 and 3, the
+    # key-group-1 residents) in FIFO order without disturbing the rest.
+    extracted = channel.extract_outbox(
+        lambda e: isinstance(e, Record) and e.key_group == 1)
+    assert [e.key for e in extracted] == [1, 3]
+
+    sim.run()
+    delivered = [inbox.pop() for _ in range(len(inbox))]
+    # Record 0 was already on the wire; the watermark overtakes everything
+    # that was still in the outbox; extraction freed slots, so the blocked
+    # sends (4, 5) completed and delivered after the survivors.
+    assert [e.key for e in delivered if isinstance(e, Record)] == [0, 2,
+                                                                   4, 5]
+    assert delivered.index(priority) == 1
+    # The extracted instances themselves were never delivered.
+    assert not any(e in extracted for e in delivered)
+    # All six sends eventually completed (extraction unblocks waiters).
+    assert accepted == list(range(6))

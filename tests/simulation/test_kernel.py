@@ -194,14 +194,54 @@ def test_interrupt_after_completion_is_noop():
 
 
 def test_yielding_non_event_raises():
+    # Bare ints/floats are valid (timeout shorthand); anything else is not.
     sim = Simulator()
 
     def bad():
-        yield 42
+        yield "not an event"
 
     sim.spawn(bad())
     with pytest.raises(SimulationError):
         sim.run()
+
+
+def test_bare_delay_yield_is_timeout_shorthand():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        yield 1.5
+        seen.append(sim.now)
+        yield 2  # ints work too
+        seen.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert seen == [1.5, 3.5]
+
+
+def test_bare_delay_interrupt_cancels_cleanly():
+    sim = Simulator()
+    seen = []
+
+    def sleeper():
+        try:
+            yield 10.0
+            seen.append("overslept")
+        except Interrupt:
+            seen.append(("interrupted", sim.now))
+        yield 1.0
+        seen.append(("resumed", sim.now))
+
+    proc = sim.spawn(sleeper())
+
+    def waker():
+        yield 2.0
+        proc.interrupt("wake up")
+
+    sim.spawn(waker())
+    sim.run()
+    assert seen == [("interrupted", 2.0), ("resumed", 3.0)]
 
 
 def test_call_at_past_raises():
@@ -235,3 +275,81 @@ def test_determinism_same_program_same_trace():
         return trace
 
     assert run_once() == run_once()
+
+
+def test_done_singleton_resumes_synchronously():
+    # Yielding the shared pre-succeeded `done` event must not touch the
+    # heap: the process continues inside the same dispatch.
+    sim = Simulator()
+    log = []
+
+    def proc():
+        yield 1.0
+        heap_before = len(sim._heap)
+        yield sim.done
+        yield sim.done
+        log.append((sim.now, heap_before, len(sim._heap)))
+
+    sim.spawn(proc())
+    sim.run()
+    assert len(log) == 1
+    now, before, after = log[0]
+    assert now == 1.0          # no simulated time passed
+    assert after == before     # no heap entries scheduled
+
+
+def test_completed_event_preserves_tie_order():
+    # completed() fires "now" but *after* anything already scheduled at the
+    # current time with an earlier counter — same ordering as
+    # sim.event().succeed().
+    sim = Simulator()
+    log = []
+
+    def proc():
+        sim.call_at(sim.now, lambda: log.append("earlier"))
+        ev = sim.completed("value")
+        got = yield ev
+        log.append(("completed", got))
+
+    sim.spawn(proc())
+    sim.run()
+    assert log == ["earlier", ("completed", "value")]
+
+
+def test_schedule_entry_reuses_one_entry_across_fires():
+    from repro.simulation.kernel import _Callback
+
+    sim = Simulator()
+    log = []
+    entry = _Callback(lambda: log.append(sim.now))
+    sim.schedule_entry(1.0, entry)
+    sim.run()
+    sim.schedule_entry(2.0, entry)  # same object, re-armed
+    sim.run()
+    assert log == [1.0, 2.0]
+
+
+def test_schedule_entry_multiple_positions_dispatch_each():
+    from repro.simulation.kernel import _Callback
+
+    sim = Simulator()
+    log = []
+    entry = _Callback(lambda: log.append(sim.now))
+    sim.schedule_entry(1.0, entry)
+    sim.schedule_entry(2.0, entry)  # same object at two heap positions
+    sim.run()
+    assert log == [1.0, 2.0]
+
+
+def test_schedule_entry_past_raises():
+    from repro.simulation.kernel import _Callback
+
+    sim = Simulator()
+
+    def proc():
+        yield 5.0
+        with pytest.raises(SimulationError):
+            sim.schedule_entry(1.0, _Callback(lambda: None))
+
+    sim.spawn(proc())
+    sim.run()

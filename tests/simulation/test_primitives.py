@@ -162,3 +162,60 @@ class TestSemaphore:
         assert sem.available == 3 and sem.in_use == 0
         sem.try_acquire()
         assert sem.available == 2 and sem.in_use == 1
+
+
+class TestEdgeWake:
+    def test_fire_wakes_all_current_waiters(self):
+        from repro.simulation import EdgeWake
+
+        sim = Simulator()
+        wake = EdgeWake(sim)
+        log = []
+
+        def proc(i):
+            yield wake.wait()
+            log.append(i)
+
+        for i in range(3):
+            sim.spawn(proc(i))
+        sim.call_at(1.0, wake.fire)
+        sim.run()
+        assert sorted(log) == [0, 1, 2]
+
+    def test_fire_with_no_waiters_is_dropped(self):
+        # Edge-triggered: unlike Signal, a fire with nobody waiting latches
+        # nothing.  A later wait() parks until the *next* fire.
+        from repro.simulation import EdgeWake
+
+        sim = Simulator()
+        wake = EdgeWake(sim)
+        wake.fire()  # dropped
+        log = []
+
+        def proc():
+            yield wake.wait()
+            log.append(sim.now)
+
+        sim.spawn(proc())
+        sim.call_at(3.0, wake.fire)
+        sim.run()
+        assert log == [3.0]
+
+    def test_waiters_cleared_after_fire(self):
+        from repro.simulation import EdgeWake
+
+        sim = Simulator()
+        wake = EdgeWake(sim)
+        log = []
+
+        def proc():
+            yield wake.wait()
+            log.append(("first", sim.now))
+            yield wake.wait()
+            log.append(("second", sim.now))
+
+        sim.spawn(proc())
+        sim.call_at(1.0, wake.fire)
+        sim.call_at(2.0, wake.fire)
+        sim.run()
+        assert log == [("first", 1.0), ("second", 2.0)]
