@@ -218,6 +218,31 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from .experiments.chaos_bank import CHAOS_SCENARIOS
+    from .faults.chaos import ChaosHarness
+
+    names = list(CHAOS_SCENARIOS) if args.scenario == "all" \
+        else [args.scenario]
+    reports = []
+    for name in names:
+        for seed in args.seed:
+            report = ChaosHarness(CHAOS_SCENARIOS[name], seed=seed).run()
+            reports.append(report)
+            if not args.json:
+                print(report.summary())
+    doc = {"passed": all(r.passed for r in reports),
+           "runs": [r.to_dict() for r in reports]}
+    if args.json:
+        print(json.dumps(doc, indent=1, sort_keys=True))
+    if args.output:
+        with open(args.output, "w") as f:
+            json.dump(doc, f, indent=1, sort_keys=True)
+        if not args.json:
+            print(f"[invariant report saved to {args.output}]")
+    return 0 if doc["passed"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -287,6 +312,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run just one suite")
     p_bench.add_argument("--json", action="store_true",
                          help="also print the bench documents as JSON")
+
+    from .experiments.chaos_bank import CHAOS_SCENARIOS
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run seeded fault-injection scenarios and check the §IV-C "
+             "safety invariants")
+    p_chaos.add_argument("scenario", nargs="?", default="all",
+                         choices=("all",) + tuple(sorted(CHAOS_SCENARIOS)),
+                         help="scenario name (default: every scenario)")
+    p_chaos.add_argument("--seed", type=int, action="append", default=None,
+                         help="seed(s) to run; repeatable (default: 7)")
+    p_chaos.add_argument("--output",
+                         help="save the invariant report as JSON here")
+    p_chaos.add_argument("--json", action="store_true",
+                         help="print the report as JSON instead of "
+                              "summaries")
     return parser
 
 
@@ -300,7 +341,10 @@ def main(argv: Optional[list] = None) -> int:
         "workload": _cmd_workload,
         "trace": _cmd_trace,
         "bench": _cmd_bench,
+        "chaos": _cmd_chaos,
     }
+    if args.command == "chaos" and args.seed is None:
+        args.seed = [7]
     return handlers[args.command](args)
 
 

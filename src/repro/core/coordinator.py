@@ -40,6 +40,21 @@ class ScaleCoordinator:
         self.config = controller.config
 
     def execute(self, op_name: str, plan: "MigrationPlan", scale_id: int):
+        # The body runs under try/finally: an abort (``abort_and_rollback``
+        # interrupting the scale process) must still tear every DRRS
+        # resource down — executors, handlers, probes — and commit the
+        # partial (rolled-back) assignment, or the job would be left with
+        # scaling machinery permanently installed.
+        executors: Dict[int, ScaleExecutor] = {}
+        saved_handlers = {}
+        try:
+            yield from self._execute_body(op_name, plan, scale_id,
+                                          executors, saved_handlers)
+        finally:
+            self._cleanup(op_name, plan, executors, saved_handlers)
+
+    def _execute_body(self, op_name: str, plan: "MigrationPlan",
+                      scale_id: int, executors, saved_handlers):
         controller = self.controller
         config = self.config
         telemetry = self.job.telemetry
@@ -52,8 +67,6 @@ class ScaleCoordinator:
                 op=op_name, scale_id=scale_id)
         new_instances = yield from controller._provision(op_name, plan)
         instances = self.job.instances(op_name)
-        executors: Dict[int, ScaleExecutor] = {}
-        saved_handlers = {}
         for instance in instances:
             executor = ScaleExecutor(controller, instance)
             executors[id(instance)] = executor
@@ -132,12 +145,32 @@ class ScaleCoordinator:
                     for node in reserved.pop(subscale.subscale_id, []):
                         node_load[node] = max(0, node_load.get(node, 0) - 1)
 
-        # -- cleanup: release every DRRS resource ------------------------------------
+    def _cleanup(self, op_name: str, plan: "MigrationPlan",
+                 executors, saved_handlers) -> None:
+        """Release every DRRS resource; runs even when the scale is aborted.
+
+        On the normal and superseded paths this is the tail of the original
+        inline cleanup; on the abort path (Interrupt delivered into
+        :meth:`execute`) it additionally copes with partially-installed
+        machinery — instances provisioned but not yet started, handlers not
+        yet swapped in.
+        """
+        controller = self.controller
+        instances = self.job.instances(op_name)
+        # An abort can interrupt _provision between deployment and start-up;
+        # finish starting the new instances so the deployed parallelism is
+        # fully live before a retry plans against it.
+        for instance in instances[plan.old_parallelism:]:
+            if not instance.running and not instance.paused:
+                instance.start()
         for instance in instances:
-            executor = executors[id(instance)]
-            executor.shutdown()
-            instance.control_handler = None
-            instance.input_handler = saved_handlers[instance]
+            executor = executors.get(id(instance))
+            if executor is not None:
+                executor.shutdown()
+                instance.control_handler = None
+            saved = saved_handlers.pop(instance, None)
+            if saved is not None:
+                instance.input_handler = saved
             for group in instance.state.groups():
                 if group.status is StateStatus.INACTIVE:
                     group.status = StateStatus.LOCAL
@@ -145,10 +178,10 @@ class ScaleCoordinator:
         controller._detach_suspension_probes(instances)
         if controller.cancelled:
             # Partial finalize: the authoritative assignment already
-            # reflects every *launched* subscale (updated at launch time),
-            # and all launched subscales have completed by now.  Rebuild it
-            # with the deployed parallelism so a superseding scale plans
-            # from reality, and drop the migrated-out stubs.
+            # reflects every *launched* subscale (updated at launch time,
+            # and restored at rollback time for aborted ones).  Rebuild it
+            # with the deployed parallelism so a superseding or retried
+            # scale plans from reality, and drop the migrated-out stubs.
             from ..engine.keys import KeyGroupAssignment
             old = self.job.assignments[op_name]
             self.job.assignments[op_name] = KeyGroupAssignment(
@@ -170,6 +203,7 @@ class ScaleCoordinator:
         executors[id(src)].register_out(subscale)
         executors[id(dst)].expect_subscale(subscale)
         subscale.launched_at = self.sim.now
+        self.controller._inflight_subscales[subscale.subscale_id] = subscale
         telemetry = self.job.telemetry
         if telemetry is not None:
             self.controller._wave_spans[subscale.subscale_id] = (
@@ -211,8 +245,14 @@ class ScaleCoordinator:
         """
         controller = self.controller
         key_groups = set(subscale.key_groups)
+        epoch = controller._abort_epoch
 
         def inject(predecessor):
+            if controller._abort_epoch != epoch:
+                # The scale was aborted between command and in-band
+                # execution: injecting now would flip routing towards a
+                # rolled-back destination.
+                return
             old_channel = edge.channels[subscale.src_index]
             new_channel = edge.channels[subscale.dst_index]
             for kg in subscale.key_groups:

@@ -27,6 +27,7 @@ from ..scaling.base import ScalingController
 from ..scaling.otfs import OTFSController
 from .coordinator import ScaleCoordinator
 from .planner import Subscale
+from .policy import RetryPolicy
 
 __all__ = ["DRRSConfig", "DRRSController", "CoupledSubscaleController",
            "make_variant"]
@@ -68,7 +69,8 @@ class DRRSController(ScalingController):
     name = "drrs"
 
     def __init__(self, job: StreamJob, config: Optional[DRRSConfig] = None,
-                 control_latency: float = 0.002):
+                 control_latency: float = 0.002,
+                 retry_policy: Optional[RetryPolicy] = None):
         super().__init__(job, control_latency=control_latency)
         self.config = config or DRRSConfig()
         if not self.config.decouple_reroute:
@@ -81,6 +83,44 @@ class DRRSController(ScalingController):
         self._completion_signal = None
         self._wave_spans: Dict[int, object] = {}
         self.cancelled = False
+        # -- crash tolerance (abort_and_rollback / retry) ---------------------
+        self.retry_policy = retry_policy or RetryPolicy()
+        #: Bumped by every abort; in-band injection closures capture the
+        #: epoch at command time and become no-ops once it moves on.
+        self._abort_epoch = 0
+        #: subscale_id -> migration Process (interruptible on abort).
+        self._migration_procs: Dict[int, object] = {}
+        #: subscale_id -> Subscale for launched-but-incomplete subscales.
+        self._inflight_subscales: Dict[int, Subscale] = {}
+        #: id(instance) -> channel-less auxiliary InputChannel that aborted
+        #: migrations re-deliver stranded records through.
+        self._rollback_queues: Dict[int, object] = {}
+        self._attempts = 0
+        self._in_retry = False
+        self._target_parallelism: Optional[int] = None
+        self._target_op: Optional[str] = None
+        # Failure recovery sweeps re-route manager buffers: records parked
+        # there live outside any channel, so a teardown flush would
+        # silently drop them (pre-checkpoint ones would be lost for good).
+        job.aux_sweep_hooks.append(self._sweep_reroute_buffers)
+
+    def _sweep_reroute_buffers(self):
+        """Drain every re-route manager buffer for recovery's sweep.
+
+        Returns ``(op name, element)`` pairs and *empties* the buffers —
+        post-restore, pre-cut records are re-injected and post-cut ones
+        replayed, so letting the drain process flush the stale copies into
+        the fresh epoch would double-deliver them.
+        """
+        swept = []
+        for executor in self._executors.values():
+            op = executor.instance.spec.name
+            for manager in executor.reroute_managers.values():
+                while manager._buffer:
+                    element = manager._buffer.popleft()
+                    if element.is_record:
+                        swept.append((op, element))
+        return swept
 
     # -- concurrent executions (§IV-B) ----------------------------------------------
 
@@ -93,6 +133,10 @@ class DRRSController(ScalingController):
         and the new request then plans from the partially migrated state —
         avoiding redundant data migrations.
         """
+        self._target_parallelism = new_parallelism
+        self._target_op = op_name
+        if not self._in_retry:
+            self._attempts = 0
         if not self.active:
             return super().request_rescale(op_name, new_parallelism)
         previous_done = self._current_done
@@ -132,8 +176,9 @@ class DRRSController(ScalingController):
     # -- migration (driven by trigger barriers via the executors) ---------------------
 
     def start_subscale_migration(self, subscale: Subscale) -> None:
-        self.sim.spawn(self._migrate_subscale(subscale),
-                       name=f"drrs-subscale-{subscale.subscale_id}")
+        self._migration_procs[subscale.subscale_id] = self.sim.spawn(
+            self._migrate_subscale(subscale),
+            name=f"drrs-subscale-{subscale.subscale_id}")
 
     def _migrate_subscale(self, subscale: Subscale):
         instances = self.scaling_instances()
@@ -159,12 +204,251 @@ class DRRSController(ScalingController):
     def on_subscale_progress(self, subscale: Subscale) -> None:
         if subscale.done and subscale.completed_at is None:
             subscale.completed_at = self.sim.now
+            self._inflight_subscales.pop(subscale.subscale_id, None)
+            self._migration_procs.pop(subscale.subscale_id, None)
             wave_span = self._wave_spans.pop(subscale.subscale_id, None)
             if wave_span is not None and not wave_span.closed:
                 self.job.telemetry.tracer.end(
                     wave_span, migrated=len(subscale.migrated_groups))
             if self._completion_signal is not None:
                 self._completion_signal.fire()
+
+    # -- crash-tolerant abort, rollback and retry (§IV-C coexistence) -----------------
+
+    def abort_and_rollback(self, reason: str = "fault", retry: bool = True):
+        """Cancel the in-flight scale, undo incomplete subscales, retry.
+
+        Runs synchronously (no simulated time passes): in-flight state
+        transfers are interrupted and their bytes land back at the source,
+        routing and the authoritative assignment revert for every unfinished
+        subscale, and records already sent towards a rolled-back destination
+        are re-delivered to the restored source.  Completed subscales stay
+        committed — the retry plans from the partially-migrated reality,
+        mirroring the supersede path (§IV-B).
+
+        With ``retry=True`` the original ``request_rescale`` done event is
+        kept pending and settled by the retried attempt; once
+        ``retry_policy.max_attempts`` attempts have aborted, it fails.
+        Returns that done event (or None if no scale was active).
+        """
+        if not self.active:
+            return None
+        self._abort_epoch += 1
+        self.cancelled = True
+        job = self.job
+        telemetry = job.telemetry
+        span = None
+        op_name = self._op_name or self._target_op
+        if telemetry is not None:
+            span = telemetry.tracer.begin(
+                "scale.rollback", category="recovery", track="scale",
+                op=op_name, reason=str(reason))
+        instances = self.job.instances(op_name)
+        redirected: Dict[int, tuple] = {}
+        rolled = 0
+        for sid, subscale in list(self._inflight_subscales.items()):
+            proc = self._migration_procs.pop(sid, None)
+            if subscale.done:
+                self._inflight_subscales.pop(sid, None)
+                continue
+            # Pull in-flight transfers out of the registry *before*
+            # interrupting their process: interrupt() detaches the wait
+            # synchronously, so the transfer generator can never resume
+            # past its registry check and install state at the target.
+            flights = []
+            for kg in subscale.key_groups:
+                flight = job.inflight_state.pop((self._op_name, kg), None)
+                if flight is not None:
+                    flights.append(flight)
+            if proc is not None and proc.is_alive:
+                proc.interrupt(reason)
+            self._rollback_subscale(subscale, flights, instances, redirected)
+            self._inflight_subscales.pop(sid, None)
+            rolled += 1
+            wave_span = self._wave_spans.pop(sid, None)
+            if wave_span is not None and not wave_span.closed:
+                telemetry.tracer.end(wave_span, rolled_back=True)
+        self._install_redirectors(redirected)
+        if span is not None:
+            telemetry.tracer.end(span, subscales_rolled_back=rolled,
+                                 retry=retry)
+        done = self._current_done
+        if retry:
+            # Keep the caller's done pending across the abort; the retry
+            # (or its exhaustion) settles it.  Must be set before the scale
+            # process is interrupted, so _run_scale's finally sees it.
+            self._retry_pending = True
+            attempt = self._attempts + 1
+            if attempt > self.retry_policy.max_attempts:
+                if done is not None and not done.triggered:
+                    done.fail(RuntimeError(
+                        f"rescale of {op_name} failed after "
+                        f"{self._attempts} retries: {reason}"))
+            else:
+                self.sim.spawn(
+                    self._retry(op_name, self._target_parallelism,
+                                done, attempt),
+                    name=f"scale-retry:{op_name}:{attempt}")
+        if self._scale_proc is not None and self._scale_proc.is_alive:
+            self._scale_proc.interrupt(reason)
+        return done
+
+    def _rollback_subscale(self, subscale: Subscale, flights, instances,
+                           redirected) -> None:
+        """Undo one launched-but-incomplete subscale, synchronously."""
+        job = self.job
+        op_name = self._op_name
+        src = instances[subscale.src_index]
+        dst = instances[subscale.dst_index]
+        key_groups = set(subscale.key_groups)
+        restored = 0
+        # 1. State.  Bytes that were mid-transfer land back at the source;
+        # bytes that already reached the destination are pulled back (their
+        # entries may reflect records processed there — keeping them
+        # preserves exactly-once); expectation stubs are dropped.
+        for flight in flights:
+            src.state.install_group(
+                flight.key_group, flight.entries, flight.size_bytes,
+                status=StateStatus.LOCAL,
+                sub_groups_present=flight.sub_groups_present)
+            restored += 1
+        for kg in subscale.key_groups:
+            group = dst.state.group(kg)
+            if group is None:
+                continue
+            if group.status is StateStatus.INCOMING:
+                dst.state.drop_group(kg)
+            elif group.status in (StateStatus.INACTIVE, StateStatus.LOCAL):
+                dst.state.drop_group(kg)
+                src.state.install_group(
+                    kg, group.entries, group.size_bytes,
+                    status=StateStatus.LOCAL,
+                    sub_groups_present=group.sub_groups_present)
+                restored += 1
+        for kg in subscale.key_groups:
+            group = src.state.group(kg)
+            if group is not None and group.status is StateStatus.PENDING_OUT:
+                group.status = StateStatus.LOCAL
+        # 2. Routing and the authoritative assignment revert to the source.
+        assignment = job.assignments[op_name]
+        for kg in subscale.key_groups:
+            assignment.apply_move(kg, subscale.src_index)
+        for _sender, edge in job.senders_to(op_name):
+            for kg in subscale.key_groups:
+                edge.set_routing(kg, subscale.src_index)
+        # 3. Both executors forget the subscale (a late trigger barrier for
+        # it then falls through harmlessly).
+        for instance in (src, dst):
+            executor = self._executors.get(id(instance))
+            if executor is not None:
+                executor.rollback_subscale(subscale)
+        # 4. Stranded records: everything queued at the destination or
+        # still in a predecessor's output cache for these key-groups is
+        # re-delivered to the source (oldest first: input queues, then
+        # output caches).  Records on the wire are caught by the temporary
+        # redirector installed afterwards.
+        rollback_queue = self._rollback_queue_for(src)
+        stranded = []
+        for input_channel in dst.input_channels:
+            matches = [e for e in input_channel.queue
+                       if getattr(e, "key_group", None) in key_groups]
+            for element in matches:
+                input_channel.remove(element)
+                stranded.append(element)
+        for _sender, edge in job.senders_to(op_name):
+            channel = edge.channels[subscale.dst_index]
+            stranded.extend(channel.extract_outbox(
+                lambda e: getattr(e, "key_group", None) in key_groups))
+        if stranded:
+            rollback_queue.queue.extend(stranded)
+            src.wake.fire()
+        dst_entry = redirected.setdefault(id(dst), (dst, {}))
+        for kg in key_groups:
+            dst_entry[1][kg] = src
+        self.metrics.note_remigration(restored)
+        if job.telemetry is not None:
+            job.telemetry.registry.counter(
+                "drrs.subscales_rolled_back", operator=op_name).inc()
+            if stranded:
+                job.telemetry.registry.counter(
+                    "drrs.records_rolled_back", operator=op_name).inc(
+                        len(stranded))
+
+    def _rollback_queue_for(self, instance):
+        """A channel-less auxiliary input lane for re-delivered records."""
+        queue = self._rollback_queues.get(id(instance))
+        if queue is None or queue not in instance.input_channels:
+            queue = instance.add_input_channel(
+                name=f"rollback->{instance.name}")
+            queue.is_auxiliary = True
+            queue.watermark = float("inf")
+            self._rollback_queues[id(instance)] = queue
+        return queue
+
+    def _install_redirectors(self, redirected) -> None:
+        """Close the wire-race window after a rollback.
+
+        Records serialized towards a rolled-back destination before the
+        routing reverted deliver within one link latency (plus at most one
+        re-route flush).  A temporary element interceptor at the
+        destination forwards them to the restored source's rollback lane,
+        then uninstalls itself after a grace period covering that window.
+        """
+        for dst, kg_map in redirected.values():
+            latencies = [ch.channel.link.latency
+                         for ch in dst.input_channels
+                         if ch.channel is not None]
+            grace = (2 * max(latencies, default=0.001)
+                     + self.config.reroute_flush_timeout
+                     + self.control_latency)
+            owners = dict(kg_map)
+
+            def intercept(channel, element, dst=dst, owners=owners):
+                src = owners.get(getattr(element, "key_group", None))
+                if src is None:
+                    return False
+                self._rollback_queue_for(src).queue.append(element)
+                src.wake.fire()
+                return True
+
+            dst.element_interceptor = intercept
+
+            def clear(dst=dst, intercept=intercept):
+                if dst.element_interceptor is intercept:
+                    dst.element_interceptor = None
+                    dst.wake.fire()
+
+            self.sim.call_in(grace, clear)
+
+    def _retry(self, op_name, new_parallelism, done, attempt):
+        """Re-request an aborted rescale after backing off (and after any
+        concurrent failure recovery has finished restoring the job)."""
+        policy = self.retry_policy
+        if self.job.telemetry is not None:
+            self.job.telemetry.tracer.instant(
+                "scale.retry", category="recovery", track="scale",
+                op=op_name, attempt=attempt,
+                backoff=policy.backoff(attempt))
+        yield self.sim.timeout(policy.backoff(attempt))
+        barrier = self.job.recovery_barrier
+        if barrier is not None and not barrier.triggered:
+            yield barrier
+        if done is not None and done.triggered:
+            return  # settled elsewhere (exhaustion, supersede)
+        self._attempts = attempt
+        self._in_retry = True
+        try:
+            inner = self.request_rescale(op_name, new_parallelism)
+        finally:
+            self._in_retry = False
+        try:
+            result = yield inner
+        except Exception as error:
+            if done is not None and not done.triggered:
+                done.fail(error)
+            return
+        if done is not None and not done.triggered:
+            done.succeed(result)
 
 
 class CoupledSubscaleController(OTFSController):

@@ -75,6 +75,25 @@ class ScaleExecutor:
                 self.instance.state.register_group(kg, StateStatus.INCOMING)
         self.instance.wake.fire()
 
+    def rollback_subscale(self, subscale: Subscale) -> None:
+        """Forget an aborted subscale (both directions).
+
+        Identity-guarded so that a retried scale's re-registered subscale
+        carrying the same key-groups is never clobbered by a stale rollback.
+        """
+        sid = subscale.subscale_id
+        if self.out_subscales.get(sid) is subscale:
+            del self.out_subscales[sid]
+        if self.in_subscales.get(sid) is subscale:
+            del self.in_subscales[sid]
+        self._triggered.discard(sid)
+        for kg in subscale.key_groups:
+            if self.kg_out.get(kg) is subscale:
+                del self.kg_out[kg]
+            if self.kg_in.get(kg) is subscale:
+                del self.kg_in[kg]
+        self.instance.wake.fire()
+
     def shutdown(self) -> None:
         for manager in self.reroute_managers.values():
             manager.close()
@@ -248,6 +267,14 @@ class DRRSInputHandler(InputHandler):
                         continue
                     if isinstance(head, (Record, LatencyMarker)):
                         if executor.rerouted_ready(head):
+                            hold = self.instance.job.aux_hold_hook
+                            if hold is not None and hold(self.instance,
+                                                        head):
+                                # Post-barrier element on an alignment-free
+                                # lane: parked until this instance aligns
+                                # the checkpoint it postdates (§IV-C).
+                                aux_blocked = True
+                                break
                             # Re-routed records are special events: processed
                             # immediately, unaffected by suspension (§III-A).
                             return channel, channel.pop()

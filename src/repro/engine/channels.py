@@ -50,7 +50,8 @@ class Channel:
                  "_send_waiters", "_in_flight", "_closed", "_epoch",
                  "sender", "telemetry", "_drain_parked",
                  "_drain_entry", "_ship_entry", "_deliver_entry",
-                 "_serializing", "_serializing_epoch", "_wire")
+                 "_serializing", "_serializing_epoch", "_wire",
+                 "fault_hook")
 
     def __init__(self, sim: Simulator, link: LinkSpec, name: str = "",
                  outbox_capacity: int = 64, inbox_capacity: int = 64):
@@ -71,6 +72,14 @@ class Channel:
         self.sender: Optional["OperatorInstance"] = None
         #: Telemetry bundle shared with the owning job (None = disabled).
         self.telemetry = None
+        #: Optional ``hook(channel, element) -> action`` consulted at the
+        #: delivery point (after the epoch check).  ``"drop"`` discards the
+        #: element (its flow-control credit is returned here, since the
+        #: receiver will never pop it); ``"duplicate"`` delivers it twice
+        #: (the extra pop over-returns one credit — accepted, documented
+        #: fault-injection artefact); anything else delivers normally.
+        #: None — the default — costs one attribute check.
+        self.fault_hook = None
         # Drainer state: parked = waiting for a kick.  Born parked: with
         # nothing queued, the first productive kick (send/attach) starts
         # the loop.  No pending latch is needed — a scheduled or running
@@ -380,6 +389,15 @@ class Channel:
         self._in_flight -= 1
         if epoch != self._epoch:
             return  # flushed while in flight: dropped
+        hook = self.fault_hook
+        if hook is not None:
+            action = hook(self, element)
+            if action == "drop":
+                self.credits += 1
+                self._kick()
+                return
+            if action == "duplicate" and self.input_channel is not None:
+                self.input_channel.deliver(element)
         if self.input_channel is not None:
             self.input_channel.deliver(element)
 

@@ -9,7 +9,7 @@ snapshot.
 from __future__ import annotations
 
 import itertools
-from typing import List, Tuple
+from typing import Dict, List, Set, Tuple
 
 from .records import CheckpointBarrier
 from .runtime import StreamJob
@@ -18,7 +18,17 @@ __all__ = ["CheckpointCoordinator"]
 
 
 class CheckpointCoordinator:
-    """Injects checkpoint barriers at the sources on a fixed interval."""
+    """Injects checkpoint barriers at the sources on a fixed interval.
+
+    Two ledgers, matching the two ends of a checkpoint's life:
+
+    * :attr:`triggered` — ``(time, id)`` recorded when the barriers are
+      injected at the sources;
+    * :attr:`completed` — ``(time, id)`` recorded when every live instance
+      has taken its snapshot for that id (observed via the job's
+      snapshot-listener hook), i.e. when the checkpoint is actually usable
+      for recovery.
+    """
 
     def __init__(self, job: StreamJob, interval: float):
         if interval <= 0:
@@ -26,13 +36,18 @@ class CheckpointCoordinator:
         self.job = job
         self.interval = interval
         self._ids = itertools.count(1)
+        self.triggered: List[Tuple[float, int]] = []
         self.completed: List[Tuple[float, int]] = []
+        #: checkpoint id -> names of instances whose snapshot has arrived.
+        self._pending: Dict[int, Set[str]] = {}
         self._running = False
+        self._installed = False
 
     def start(self) -> None:
         if self._running:
             return
         self._running = True
+        self._install()
         self.job.sim.spawn(self._loop(), name="checkpoint-coordinator")
 
     def stop(self) -> None:
@@ -40,19 +55,36 @@ class CheckpointCoordinator:
 
     def trigger_now(self) -> int:
         """Inject one checkpoint immediately; returns its id."""
+        self._install()
         checkpoint_id = next(self._ids)
         if self.job.telemetry is not None:
             self.job.telemetry.tracer.instant(
                 "checkpoint.trigger", category="checkpoint",
                 track="checkpoint", checkpoint_id=checkpoint_id)
+        self.triggered.append((self.job.sim.now, checkpoint_id))
         for source in self.job.sources():
             source.inject(CheckpointBarrier(checkpoint_id=checkpoint_id))
         return checkpoint_id
+
+    # -- completion tracking ---------------------------------------------------
+
+    def _install(self) -> None:
+        if not self._installed:
+            self._installed = True
+            self.job.snapshot_listeners.append(self._on_snapshot)
+
+    def _on_snapshot(self, instance, barrier: CheckpointBarrier) -> None:
+        seen = self._pending.setdefault(barrier.checkpoint_id, set())
+        seen.add(instance.name)
+        needed = {inst.name for inst in self.job.all_instances()
+                  if inst.running or inst.paused}
+        if seen >= needed:
+            del self._pending[barrier.checkpoint_id]
+            self.completed.append((self.job.sim.now, barrier.checkpoint_id))
 
     def _loop(self):
         while self._running:
             yield self.job.sim.timeout(self.interval)
             if not self._running:
                 return
-            checkpoint_id = self.trigger_now()
-            self.completed.append((self.job.sim.now, checkpoint_id))
+            self.trigger_now()

@@ -207,6 +207,15 @@ class DefaultInputHandler(InputHandler):
                     saw_blocked_data = True
                 continue
             if channel.queue:
+                if channel.is_auxiliary:
+                    # Auxiliary lanes bypass barrier alignment; recovery may
+                    # park a post-barrier element until this instance has
+                    # aligned the checkpoint it postdates.
+                    hook = self.instance.job.aux_hold_hook
+                    if hook is not None and hook(self.instance,
+                                                 channel.queue[0]):
+                        saw_blocked_data = True
+                        continue
                 self._cursor = cursor
                 return channel, channel.pop()
         self.suspended = saw_blocked_data
@@ -247,6 +256,12 @@ class OperatorInstance:
 
         self.running = False
         self.paused = False
+        #: Set by failure-recovery teardown while the world is being
+        #: scrubbed: an element already mid-service when the failure hit
+        #: must be *discarded* on wake-up, not emitted — its effects are
+        #: rolled back and it re-enters via source replay, so emitting it
+        #: into the freshly flushed channels would double-deliver it.
+        self.abandon_work = False
         self.current_watermark = float("-inf")
         #: Key-group currently being processed (migration must not extract
         #: a group mid-record).
@@ -365,12 +380,17 @@ class OperatorInstance:
                             start = sim.now
                             yield cost
                             self.busy_seconds += sim.now - start
+                            if self.abandon_work:
+                                continue
                         self.records_processed += count
                         telemetry = self.job.telemetry
                         if telemetry is not None:
                             telemetry.registry.counter(
                                 "records.processed",
                                 operator=self.spec.name).inc(count)
+                        listener = self.job.record_capture_listener
+                        if listener is not None:
+                            listener(self, element)
                         outputs = self.logic.on_record(element, self)
                     finally:
                         self.current_key_group = None
@@ -445,12 +465,17 @@ class OperatorInstance:
                 start = self.sim.now
                 yield cost  # bare-delay yield == sim.timeout(cost)
                 self.busy_seconds += self.sim.now - start
+                if self.abandon_work:
+                    return
             self.records_processed += count
             telemetry = self.job.telemetry
             if telemetry is not None:
                 telemetry.registry.counter(
                     "records.processed",
                     operator=self.spec.name).inc(count)
+            listener = self.job.record_capture_listener
+            if listener is not None:
+                listener(self, record)
             outputs = self.logic.on_record(record, self)
         finally:
             self.current_key_group = None

@@ -64,14 +64,17 @@ class Record(StreamElement):
     """
 
     __slots__ = ("key", "key_group", "event_time", "value", "count",
-                 "size_bytes", "created_at", "record_id")
+                 "size_bytes", "created_at", "record_id",
+                 "src_origin", "src_seq")
 
     is_record = True
 
     def __init__(self, key: Any = None, key_group: Optional[int] = None,
                  event_time: float = 0.0, value: Any = None, count: int = 1,
                  size_bytes: float = 64.0, created_at: float = 0.0,
-                 record_id: Optional[int] = None):
+                 record_id: Optional[int] = None,
+                 src_origin: Optional[str] = None,
+                 src_seq: Optional[int] = None):
         self.key = key
         self.key_group = key_group
         self.event_time = event_time
@@ -80,6 +83,15 @@ class Record(StreamElement):
         self.size_bytes = size_bytes
         self.created_at = created_at
         self.record_id = next(_record_ids) if record_id is None else record_id
+        #: Consistent-cut lineage, stamped by sources only when replay
+        #: history is on (failure recovery installed): the name of the
+        #: source this record descends from and its consumption index
+        #: there.  ``src_seq < checkpoint offset`` is exactly "on the
+        #: pre-barrier side of that checkpoint's cut" — how recovery
+        #: decides whether a record that bypassed barrier alignment
+        #: (re-route lanes, rollback queues) belongs in a snapshot.
+        self.src_origin = src_origin
+        self.src_seq = src_seq
 
     def copy_with(self, **changes: Any) -> "Record":
         """A shallow copy with selected fields replaced (fresh record_id)."""
@@ -91,6 +103,8 @@ class Record(StreamElement):
             count=self.count,
             size_bytes=self.size_bytes,
             created_at=self.created_at,
+            src_origin=self.src_origin,
+            src_seq=self.src_seq,
         )
         fields.update(changes)
         return Record(**fields)

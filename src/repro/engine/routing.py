@@ -13,8 +13,7 @@ from typing import Dict, List, TYPE_CHECKING
 
 from .channels import Channel
 from .keys import key_to_key_group
-from .records import (CheckpointBarrier, LatencyMarker, Record, StreamElement,
-                      Watermark)
+from .records import LatencyMarker, Record, StreamElement
 
 if TYPE_CHECKING:  # pragma: no cover
     from .operators import OperatorInstance
@@ -141,8 +140,15 @@ class OutputRouter:
         checkpoint barriers are broadcast to every channel of every edge
         (they must reach all downstream instances).
         """
+        # ``abandon_work`` re-checks after every blocking yield: a sender
+        # parked mid-broadcast when a failure-recovery teardown scrubbed
+        # the channels must not push the remaining copies into the fresh
+        # epoch (they belong to the rolled-back world).
+        instance = self.instance
         if isinstance(element, Record):
             for edge in self.edges:
+                if instance.abandon_work:
+                    return
                 if edge.partitioning is Partitioning.BROADCAST:
                     for channel in edge.channels:
                         yield channel.send(element)
@@ -150,15 +156,15 @@ class OutputRouter:
                     yield edge.channel_for_record(element).send(element)
         elif isinstance(element, LatencyMarker):
             for edge in self.edges:
+                if instance.abandon_work:
+                    return
                 if edge.channels:
                     yield edge.channel_for_marker(element).send(element)
-        elif isinstance(element, (Watermark, CheckpointBarrier)):
-            for edge in self.edges:
-                for channel in edge.channels:
-                    yield channel.send(element)
         else:
             for edge in self.edges:
                 for channel in edge.channels:
+                    if instance.abandon_work:
+                        return
                     yield channel.send(element)
 
     def all_channels(self) -> List[Channel]:

@@ -26,7 +26,7 @@ from .records import (CheckpointBarrier, EndOfStream, LatencyMarker, Record,
 from .routing import OutputEdge, Partitioning
 from .state import StateStatus, StateTransferCostModel
 
-__all__ = ["JobConfig", "StreamJob", "SourceInstance"]
+__all__ = ["JobConfig", "StreamJob", "SourceInstance", "_InflightState"]
 
 
 @dataclass
@@ -53,6 +53,28 @@ class JobConfig:
     max_concurrent_transfers_per_host: int = 4
 
 
+@dataclass
+class _InflightState:
+    """One key-group's bytes while they are on the wire between instances.
+
+    Registered in :attr:`StreamJob.inflight_state` by
+    ``ScalingController._transfer_group`` at the instant the entries leave
+    the source backend (status → ``MIGRATED_OUT``) and popped when they are
+    installed at the destination.  While registered, the bytes exist
+    *nowhere else* — checkpoints fold them into the source's snapshot and
+    rollbacks restore them at the source.
+    """
+
+    op_name: str
+    key_group: int
+    entries: dict
+    size_bytes: float
+    sub_groups_present: Optional[set]
+    src_name: str
+    src_index: int
+    dst_index: int
+
+
 class SourceInstance(OperatorInstance):
     """A source subtask: pulls from an admission queue, emits downstream.
 
@@ -71,6 +93,9 @@ class SourceInstance(OperatorInstance):
         #: Elements consumed from the admission queue (the replay offset).
         self.consumed_elements = 0
         self._history: Optional[List[StreamElement]] = None
+        #: Replay offset of ``_history[0]`` — grows as old history is
+        #: trimmed away once no retained checkpoint can rewind past it.
+        self._history_base = 0
 
     def enable_replay_history(self) -> None:
         """Keep every admitted element so the source can be rewound
@@ -78,16 +103,32 @@ class SourceInstance(OperatorInstance):
         memory proportional to the run."""
         if self._history is None:
             self._history = list(self.pending)
+            self._history_base = self.consumed_elements
 
     def rewind_to(self, offset: int) -> None:
         """Rewind consumption to ``offset`` admitted elements (replay)."""
         if self._history is None:
             raise RuntimeError("replay history not enabled on this source")
-        if not 0 <= offset <= len(self._history):
+        if not self._history_base <= offset \
+                <= self._history_base + len(self._history):
             raise ValueError(f"offset {offset} out of range")
-        self.pending = deque(self._history[offset:])
+        self.pending = deque(self._history[offset - self._history_base:])
         self.consumed_elements = offset
         self.wake.fire()
+
+    def trim_history_before(self, offset: int) -> int:
+        """Drop replay history for offsets below ``offset``; returns the
+        number of elements released.  Rewinding past the trim point then
+        raises, so callers must only trim below every offset they may
+        still restore (the RecoveryManager's oldest retained checkpoint).
+        """
+        if self._history is None:
+            return 0
+        drop = min(max(offset - self._history_base, 0), len(self._history))
+        if drop:
+            del self._history[:drop]
+            self._history_base += drop
+        return drop
 
     def offer(self, element: StreamElement) -> None:
         """Admit one element from the workload generator."""
@@ -129,9 +170,20 @@ class SourceInstance(OperatorInstance):
             element = self.pending.popleft()
             self.consumed_elements += 1
             is_record = element.is_record
+            if is_record and self._history is not None:
+                # Stamp the consistent-cut lineage (see Record.src_seq).
+                # Replay re-consumes the same element objects at the same
+                # indices, so the stamp is stable across rewinds.
+                element.src_origin = self.name
+                element.src_seq = self.consumed_elements - 1
             cost = self.service_time(element.count if is_record else 1)
             if cost > 0:
                 yield cost  # bare-delay yield == sim.timeout(cost)
+                if self.abandon_work:
+                    # A failure struck mid-service: the rewind will
+                    # re-deliver this element, so emitting it now would
+                    # double-count it downstream.
+                    continue
             if is_record:
                 ev = self.router.emit_record_fast(element)
                 if ev is not None:
@@ -178,8 +230,54 @@ class StreamJob:
         #: Optional hook receiving ``(instance, barrier)`` on every
         #: snapshot — the RecoveryManager's retention point.
         self.snapshot_listener = None
+        #: Additional ``(instance, barrier)`` snapshot observers (e.g. the
+        #: CheckpointCoordinator's completion tracker).  Kept separate from
+        #: :attr:`snapshot_listener` for compatibility with callers that
+        #: assign the single slot directly.
+        self.snapshot_listeners: List = []
         #: Count of scaling operations currently in flight (any controller).
         self.scaling_active = 0
+        #: Scaling controllers with an operation in flight, registered by
+        #: ``ScalingController._run_scale`` — the RecoveryManager asks these
+        #: to abort when a failure strikes mid-scaling.
+        self.active_scalers: List = []
+        #: Key-group state currently on the wire between two instances:
+        #: ``(op name, key group) -> _InflightState``.  Registered when a
+        #: transfer extracts the bytes from the source, popped when they are
+        #: installed at the destination — so a checkpoint taken mid-transfer
+        #: can fold the migrating bytes into the source's snapshot (§IV-C),
+        #: and an aborted transfer can be rolled back.
+        self.inflight_state: Dict[Tuple[str, int], "_InflightState"] = {}
+        #: Optional hook ``(flight, dst_instance)`` called when a migrating
+        #: key-group's bytes install at their destination — the
+        #: RecoveryManager's fold-race closer (§IV-C).
+        self.flight_landed_hook = None
+        #: Optional hook ``(instance, record)`` called for every record an
+        #: instance is about to apply — the RecoveryManager's record-level
+        #: checkpoint compensation (a record whose key-group was already
+        #: captured for a retained checkpoint it precedes must be
+        #: re-injected on restore).  None costs one attribute load.
+        self.record_capture_listener = None
+        #: Optional predicate ``(instance, element) -> bool`` consulted
+        #: before popping an *auxiliary*-lane element: True parks it until
+        #: the instance has aligned the checkpoints the element postdates
+        #: (auxiliary lanes bypass barrier alignment, so without the hold a
+        #: post-barrier record could leak into a pre-barrier snapshot).
+        self.aux_hold_hook = None
+        #: Callables ``() -> List[(op_name, record)]`` that *remove and
+        #: return* records parked in scaling-internal buffers outside any
+        #: channel (e.g. DRRS re-route managers) — swept by failure
+        #: recovery so pre-checkpoint records stranded there are restored.
+        self.aux_sweep_hooks: List = []
+        #: Optional hook ``(src, dst, key_group) -> extra_seconds`` invoked
+        #: while a state transfer holds its NIC slot — the fault injector's
+        #: transfer-stall point.  None (the default) costs one attribute
+        #: load and draws no events.
+        self.transfer_fault_hook = None
+        #: Event set by the RecoveryManager for the duration of a recovery
+        #: (pause → restore → resume); scaling retries wait on it so they
+        #: do not race the restore.  None when no recovery is in flight.
+        self.recovery_barrier = None
         self._transfer_gates: Dict[str, object] = {}
         #: Telemetry bundle (registry + tracer), or None when disabled.
         #: Hot paths guard every recording with ``if telemetry is not None``
@@ -461,6 +559,8 @@ class StreamJob:
                 state_bytes=instance.state.total_bytes())
         if self.snapshot_listener is not None:
             self.snapshot_listener(instance, barrier)
+        for listener in self.snapshot_listeners:
+            listener(instance, barrier)
 
     @property
     def snapshots(self) -> List[Tuple[float, str, int]]:

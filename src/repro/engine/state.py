@@ -88,6 +88,22 @@ class KeyedStateBackend:
     def drop_group(self, key_group: int) -> KeyGroupState:
         return self._groups.pop(key_group)
 
+    def install_group(self, key_group: int, entries: Dict[Any, Any],
+                      size_bytes: float,
+                      status: StateStatus = StateStatus.LOCAL,
+                      sub_groups_present: Optional[set] = None
+                      ) -> KeyGroupState:
+        """Install a key-group's bytes wholesale (migration arrival or
+        rollback), replacing any stub registered for it."""
+        group = self._groups.get(key_group)
+        if group is None:
+            group = self.register_group(key_group, status)
+        group.entries = entries
+        group.size_bytes = size_bytes
+        group.status = status
+        group.sub_groups_present = sub_groups_present
+        return group
+
     def groups(self) -> List[KeyGroupState]:
         return list(self._groups.values())
 

@@ -1,0 +1,330 @@
+"""Bank of seeded chaos scenarios exercising §IV-C's robustness claims.
+
+Each scenario wires a keyed-sum pipeline (the canonical scaling testbed),
+an oracle that counts what the generator actually produced, periodic
+aligned checkpoints, a :class:`~repro.engine.recovery.RecoveryManager`
+and a :class:`~repro.faults.FaultInjector`, then declares what must hold
+after the dust settles.  Run one with::
+
+    python -m repro chaos crash-mid-subscale --seed 7
+
+Design notes on the fault/checkpoint interplay the scenarios encode:
+
+* **Drop/duplicate windows corrupt checkpoints cut inside them** — a
+  checkpoint completed mid-window has source offsets past records that
+  were lost (or state that counted records twice), so replay from it
+  cannot restore exactly-once.  The drop/duplicate scenarios therefore
+  pause the checkpoint coordinator just before the window and crash
+  before resuming it: recovery lands on a pre-window checkpoint and
+  replay repairs the damage.  (Crashes and stalls need no such care:
+  they never corrupt a completed checkpoint.)
+* **``crash-mid-subscale`` is the §IV-C acceptance scenario** — a
+  checkpoint completes *during* the DRRS scaling operation (migrating
+  key-group bytes folded into the departing instance's snapshot), the
+  crash lands while subscales are still in flight, recovery restores
+  that mid-scaling checkpoint, and the controller's retry completes the
+  rescale.  The expectations pin all of that, not just the invariants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..engine import (CheckpointCoordinator, JobGraph, KeyedReduceLogic,
+                      OperatorSpec, Partitioning, Record, StreamJob,
+                      Watermark)
+from ..engine.recovery import RecoveryManager
+from ..faults import (ChaosScenario, ChaosSetup, CrashInstance,
+                      DelayRecords, DropRecords, DuplicateRecords,
+                      FaultInjector, StallTransfers)
+
+__all__ = ["CHAOS_SCENARIOS", "chaos_scenario"]
+
+
+def _keyed_job(stop_at: float, num_key_groups: int = 16,
+               parallelism: int = 2, keys: int = 24,
+               state_bytes_per_group: float = 2e6,
+               gap: float = 0.01):
+    """source → keyed sum → sink plus a counting oracle.
+
+    The generator tallies ``produced[key]`` as it offers records, so the
+    oracle survives replay-history trimming and is blind to every fault
+    downstream of the source.
+    """
+    graph = JobGraph("chaos", num_key_groups=num_key_groups)
+    graph.add_source("src", parallelism=1, service_time=5e-5)
+    graph.add_operator(OperatorSpec(
+        "agg",
+        logic_factory=lambda: KeyedReduceLogic(
+            lambda old, r: (old or 0) + r.count),
+        parallelism=parallelism, service_time=2e-4, keyed=True,
+        initial_state_bytes_per_group=state_bytes_per_group))
+    graph.add_sink("sink")
+    graph.connect("src", "agg", Partitioning.HASH)
+    graph.connect("agg", "sink", Partitioning.FORWARD)
+    job = StreamJob(graph).build()
+    produced: Dict[str, int] = {}
+
+    def gen():
+        src = job.sources()[0]
+        i = 0
+        while job.sim.now < stop_at:
+            key = f"k{i % keys}"
+            src.offer(Record(key=key, event_time=job.sim.now, count=1))
+            produced[key] = produced.get(key, 0) + 1
+            if i % 20 == 0:
+                src.offer(Watermark(timestamp=job.sim.now))
+            i += 1
+            yield job.sim.timeout(gap)
+
+    job.sim.spawn(gen(), name="chaos-driver")
+    return job, produced
+
+
+def _rescale_at(job, controller, op_name: str, when: float,
+                new_parallelism: int) -> Dict:
+    """Kick off a rescale at ``when``; returns a holder for its done."""
+    holder: Dict = {"done": None}
+
+    def kick():
+        holder["done"] = controller.request_rescale(op_name,
+                                                    new_parallelism)
+
+    job.sim.call_at(when, kick)
+    return holder
+
+
+def _expect_rescaled(holder, job, op_name: str,
+                     parallelism: int) -> List[str]:
+    problems = []
+    done = holder["done"]
+    if done is None:
+        problems.append("rescale was never requested")
+    elif not done.triggered:
+        problems.append("rescale never completed")
+    elif not done._ok:
+        problems.append(f"rescale failed: {done.value!r}")
+    if len(job.instances(op_name)) != parallelism:
+        problems.append(
+            f"{op_name} has {len(job.instances(op_name))} instances, "
+            f"want {parallelism}")
+    return problems
+
+
+def _expect_spans(job, want_rollback: bool = True,
+                  want_retry: bool = True) -> List[str]:
+    problems = []
+    tracer = job.telemetry.tracer
+    if want_rollback and not tracer.closed_spans(category="recovery",
+                                                 name="scale.rollback"):
+        problems.append("no scale.rollback span recorded")
+    if want_retry and not tracer.events_named("scale.retry"):
+        problems.append("no scale.retry instant recorded")
+    return problems
+
+
+# -- scenarios ---------------------------------------------------------------
+
+
+def _crash_mid_subscale(seed: int) -> ChaosSetup:
+    """§IV-C acceptance: crash mid-subscale, recover from a checkpoint
+    taken during the scaling operation, finish the rescale via retry."""
+    from ..core.drrs import DRRSController
+
+    job, produced = _keyed_job(stop_at=14.0,
+                               state_bytes_per_group=24e6)
+    job.enable_telemetry()
+    checkpoints = CheckpointCoordinator(job, interval=0.75)
+    checkpoints.start()
+    recovery = RecoveryManager(job, restart_seconds=0.5,
+                               retain_checkpoints=100).install()
+    controller = DRRSController(job)
+    holder = _rescale_at(job, controller, "agg", 6.0, 4)
+    injector = FaultInjector(job, recovery=recovery, seed=seed)
+    injector.add(CrashInstance("agg", 1, at=8.0))
+
+    def expect(setup) -> List[str]:
+        problems = _expect_rescaled(holder, job, "agg", 4)
+        problems += _expect_spans(job)
+        if not recovery.recoveries:
+            problems.append("crash caused no recovery")
+        else:
+            _when, cid = recovery.recoveries[0]
+            ckpt = recovery.checkpoint(cid)
+            if ckpt is None:
+                problems.append(f"restored checkpoint #{cid} was pruned")
+            elif not ckpt.mid_scaling:
+                problems.append(
+                    f"restored checkpoint #{cid} predates the scaling "
+                    "operation — the mid-scaling fold was never "
+                    "exercised")
+        return problems
+
+    return ChaosSetup(job=job, injector=injector, keyed_ops=["agg"],
+                      horizon=45.0, recovery=recovery,
+                      oracle={"agg": produced}, expectations=[expect])
+
+
+def _crash_during_transfer(seed: int) -> ChaosSetup:
+    """Phase-triggered crash the instant the first key-group migration
+    begins; recovery rolls the migration back, the retry completes it."""
+    from ..core.drrs import DRRSController
+
+    job, produced = _keyed_job(stop_at=14.0,
+                               state_bytes_per_group=8e6)
+    job.enable_telemetry()
+    checkpoints = CheckpointCoordinator(job, interval=1.0)
+    checkpoints.start()
+    recovery = RecoveryManager(job, restart_seconds=0.5).install()
+    controller = DRRSController(job)
+    holder = _rescale_at(job, controller, "agg", 6.0, 4)
+    injector = FaultInjector(job, recovery=recovery, seed=seed)
+    injector.add(CrashInstance("agg", 0, phase="state-transfer"))
+
+    def expect(setup) -> List[str]:
+        problems = _expect_rescaled(holder, job, "agg", 4)
+        problems += _expect_spans(job)
+        if not recovery.recoveries:
+            problems.append("crash caused no recovery")
+        return problems
+
+    return ChaosSetup(job=job, injector=injector, keyed_ops=["agg"],
+                      horizon=45.0, recovery=recovery,
+                      oracle={"agg": produced}, expectations=[expect])
+
+
+def _lossy_window_then_crash(seed: int, kind: str) -> ChaosSetup:
+    """Drop or duplicate a window of records, then crash: recovery from
+    a pre-window checkpoint plus replay restores exactly-once."""
+    job, produced = _keyed_job(stop_at=12.0)
+    checkpoints = CheckpointCoordinator(job, interval=1.0)
+    checkpoints.start()
+    recovery = RecoveryManager(job, restart_seconds=0.5).install()
+    injector = FaultInjector(job, recovery=recovery, seed=seed)
+    # Checkpoints cut inside the fault window would bake the damage in
+    # (see module docstring); pause the coordinator around it.
+    job.sim.call_at(4.9, checkpoints.stop)
+    if kind == "drop":
+        injector.add(DropRecords("src", "agg", duration=0.6,
+                                 probability=0.7, at=5.0))
+    else:
+        injector.add(DuplicateRecords("src", "agg", duration=0.3,
+                                      at=5.0))
+    injector.add(CrashInstance("agg", 0, at=6.0))
+    job.sim.call_at(8.0, checkpoints.start)
+
+    def expect(setup) -> List[str]:
+        problems: List[str] = []
+        if not recovery.recoveries:
+            problems.append("crash caused no recovery")
+        return problems
+
+    return ChaosSetup(job=job, injector=injector, keyed_ops=["agg"],
+                      horizon=35.0, recovery=recovery,
+                      oracle={"agg": produced}, expectations=[expect])
+
+
+def _stall_and_rollback(seed: int) -> ChaosSetup:
+    """Transfers stall mid-migration; a watchdog aborts the scale, the
+    rollback restores the pre-subscale world and the retry finishes.
+    No recovery at all — exactly-once must survive on rollback alone."""
+    from ..core.drrs import DRRSController
+
+    job, produced = _keyed_job(stop_at=14.0,
+                               state_bytes_per_group=8e6)
+    job.enable_telemetry()
+    controller = DRRSController(job)
+    holder = _rescale_at(job, controller, "agg", 6.0, 4)
+    injector = FaultInjector(job, seed=seed)
+    injector.add(StallTransfers("agg", extra_seconds=6.0, duration=2.0,
+                                phase="state-transfer"))
+    job.sim.call_at(7.5, lambda: controller.abort_and_rollback(
+        "stall watchdog", retry=True))
+
+    def expect(setup) -> List[str]:
+        problems = _expect_rescaled(holder, job, "agg", 4)
+        problems += _expect_spans(job)
+        return problems
+
+    return ChaosSetup(job=job, injector=injector, keyed_ops=["agg"],
+                      horizon=45.0, oracle={"agg": produced},
+                      expectations=[expect])
+
+
+def _delay_blip(seed: int) -> ChaosSetup:
+    """Records re-ordered by a delay window: no loss, no duplication —
+    exactly-once must hold with no recovery at all."""
+    job, produced = _keyed_job(stop_at=10.0)
+    injector = FaultInjector(job, seed=seed)
+    injector.add(DelayRecords("src", "agg", duration=1.0, hold=0.8,
+                              probability=0.5, at=4.0))
+    return ChaosSetup(job=job, injector=injector, keyed_ops=["agg"],
+                      horizon=20.0, oracle={"agg": produced})
+
+
+def _double_fault(seed: int) -> ChaosSetup:
+    """A second crash strikes while the first restore is still running;
+    the half-done restore is abandoned and recovery restarts cleanly."""
+    job, produced = _keyed_job(stop_at=12.0)
+    checkpoints = CheckpointCoordinator(job, interval=1.0)
+    checkpoints.start()
+    recovery = RecoveryManager(job, restart_seconds=1.5).install()
+    injector = FaultInjector(job, recovery=recovery, seed=seed)
+    injector.add(CrashInstance("agg", 0, at=6.0))
+    injector.add(CrashInstance("agg", 1, at=6.8))
+
+    def expect(setup) -> List[str]:
+        problems: List[str] = []
+        if len(recovery.recoveries) < 2:
+            problems.append(
+                f"expected a double recovery, saw "
+                f"{len(recovery.recoveries)}")
+        return problems
+
+    return ChaosSetup(job=job, injector=injector, keyed_ops=["agg"],
+                      horizon=35.0, recovery=recovery,
+                      oracle={"agg": produced}, expectations=[expect])
+
+
+CHAOS_SCENARIOS: Dict[str, ChaosScenario] = {
+    scenario.name: scenario for scenario in [
+        ChaosScenario(
+            "crash-mid-subscale", _crash_mid_subscale,
+            "crash during a DRRS subscale; recover from a mid-scaling "
+            "checkpoint and finish the rescale via retry (§IV-C "
+            "acceptance)"),
+        ChaosScenario(
+            "crash-during-transfer", _crash_during_transfer,
+            "phase-triggered crash at the first state transfer"),
+        ChaosScenario(
+            "drop-then-crash",
+            lambda seed: _lossy_window_then_crash(seed, "drop"),
+            "lose a window of records on the wire, then crash; replay "
+            "repairs the loss"),
+        ChaosScenario(
+            "duplicate-then-crash",
+            lambda seed: _lossy_window_then_crash(seed, "duplicate"),
+            "deliver a window of records twice, then crash; rollback "
+            "undoes the double count"),
+        ChaosScenario(
+            "stall-and-rollback", _stall_and_rollback,
+            "stalled transfers abort the scale; rollback + retry with "
+            "no recovery manager involved"),
+        ChaosScenario(
+            "delay-blip", _delay_blip,
+            "re-order a window of records; exactly-once with no "
+            "recovery"),
+        ChaosScenario(
+            "double-fault", _double_fault,
+            "second crash lands mid-restore; recovery restarts from "
+            "scratch"),
+    ]
+}
+
+
+def chaos_scenario(name: str) -> ChaosScenario:
+    try:
+        return CHAOS_SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(CHAOS_SCENARIOS))
+        raise KeyError(f"unknown chaos scenario {name!r}; known: {known}")

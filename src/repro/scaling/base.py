@@ -24,7 +24,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..engine.operators import InputHandler, OperatorInstance
 from ..engine.records import ControlSignal, Record
-from ..engine.runtime import StreamJob
+from ..engine.runtime import StreamJob, _InflightState
 from ..engine.state import StateStatus
 from .plan import MigrationPlan
 
@@ -304,6 +304,11 @@ class ScalingController:
         self._scale_ids = 0
         self.active = False
         self._current_done = None
+        self._scale_proc = None
+        #: Set by an abort-and-retry path just before interrupting the
+        #: scale process: tells ``_run_scale``'s finally NOT to fire the
+        #: caller's done event — the retry will, once it concludes.
+        self._retry_pending = False
 
     # -- public API -----------------------------------------------------------------
 
@@ -328,12 +333,14 @@ class ScalingController:
         self.metrics = ScalingMetrics()
         self.metrics.begin(self.sim.now)
         self.active = True
-        self.sim.spawn(self._run_scale(op_name, plan, self._scale_ids, done),
-                       name=f"scale:{self.name}:{op_name}")
+        self._scale_proc = self.sim.spawn(
+            self._run_scale(op_name, plan, self._scale_ids, done),
+            name=f"scale:{self.name}:{op_name}")
         return done
 
     def _run_scale(self, op_name, plan, scale_id, done):
         self.job.scaling_active += 1
+        self.job.active_scalers.append(self)
         telemetry = self.job.telemetry
         span = None
         if telemetry is not None:
@@ -349,13 +356,21 @@ class ScalingController:
             self.active = False
             self.job.signal_router = None
             self.job.scaling_active -= 1
+            if self in self.job.active_scalers:
+                self.job.active_scalers.remove(self)
             if span is not None:
                 telemetry.tracer.end(
                     span,
                     records_rerouted=self.metrics.records_rerouted,
                     remigrations=self.metrics.remigrations,
                     groups_migrated=len(self.metrics.migration_completed))
-            done.succeed(self.metrics)
+            # An abort-and-retry keeps the caller's done event pending —
+            # the retry attempt (which re-enters request_rescale with a
+            # fresh event) settles it when the operation truly concludes.
+            retrying = self._retry_pending
+            self._retry_pending = False
+            if not retrying and not done.triggered:
+                done.succeed(self.metrics)
 
     def _execute(self, op_name: str, plan: MigrationPlan, scale_id: int):
         raise NotImplementedError
@@ -444,22 +459,45 @@ class ScalingController:
         group.entries = {}
         group.size_bytes = 0.0
         group.status = StateStatus.MIGRATED_OUT
+        # From this instant until installation at dst, the bytes live only
+        # in the in-flight registry: checkpoints fold them into the source
+        # snapshot (§IV-C) and an abort restores them from here.
+        flight_key = (src.spec.name, key_group)
+        self.job.inflight_state[flight_key] = _InflightState(
+            op_name=src.spec.name, key_group=key_group, entries=entries,
+            size_bytes=size, sub_groups_present=sub_present,
+            src_name=src.name, src_index=src.index, dst_index=dst.index)
         src.wake.fire()
         link = self.job.link_between(src, dst)
         gate = self.job.transfer_gate(src.node.name)
-        yield gate.acquire()
+        # Ticket pattern: if an abort interrupts us while queued on the
+        # gate, ``cancel`` withdraws the ticket instead of leaking the slot
+        # to the abandoned event.
+        ticket = gate.acquire()
         try:
+            yield ticket
             yield self.sim.timeout(cost_model.transfer_seconds(
                 size, link.bandwidth, link.latency))
+            hook = self.job.transfer_fault_hook
+            if hook is not None:
+                extra = hook(src, dst, key_group)
+                if extra:
+                    # Injected stall holds the NIC slot, as a real stalled
+                    # transfer would.
+                    yield self.sim.timeout(extra)
         finally:
-            gate.release()
-        new_group = dst.state.group(key_group)
-        if new_group is None:
-            new_group = dst.state.register_group(key_group, arrival_status)
-        new_group.entries = entries
-        new_group.size_bytes = size
-        new_group.status = arrival_status
-        new_group.sub_groups_present = sub_present
+            gate.cancel(ticket)
+        flight = self.job.inflight_state.pop(flight_key, None)
+        if flight is None:
+            # Rolled back under our feet (the abort path consumed the
+            # flight before interrupting us): nothing to install.
+            return
+        landed_hook = self.job.flight_landed_hook
+        if landed_hook is not None:
+            landed_hook(flight, dst)
+        dst.state.install_group(key_group, entries, size,
+                                status=arrival_status,
+                                sub_groups_present=sub_present)
         self.metrics.note_migration_completed(key_group, self.sim.now)
         if span is not None:
             telemetry.tracer.end(span)

@@ -210,3 +210,20 @@ class Semaphore:
         if self._count >= self._capacity:
             raise SimulationError("semaphore released more than acquired")
         self._count += 1
+
+    def cancel(self, ticket: Event) -> None:
+        """Give back an :meth:`acquire` ticket, held or still queued.
+
+        A process interrupted while waiting on ``acquire()`` abandons its
+        ticket event; if that event stayed in the waiter queue, a later
+        ``release`` would succeed it with nobody listening and the slot
+        would leak forever.  ``cancel`` is safe in either state: a granted
+        ticket releases the slot, a queued one is simply withdrawn.
+        """
+        if ticket.triggered:
+            self.release()
+            return
+        try:
+            self._waiters.remove(ticket)
+        except ValueError:
+            pass

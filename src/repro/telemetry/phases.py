@@ -25,6 +25,9 @@ name                   category        emitted by
 ``reroute.flush``      ``reroute``     ReRouteManager drain process
 ``checkpoint.sync``    ``checkpoint``  aligned-snapshot sync pause
 ``recovery.restore``   ``recovery``    RecoveryManager rollback
+``scale.rollback``     ``recovery``    DRRSController.abort_and_rollback
+``scale.retry``        ``recovery``    DRRSController._retry (instant)
+``fault.injected``     ``fault``       FaultInjector (instant, per fault)
 =====================  ==============  =======================================
 """
 

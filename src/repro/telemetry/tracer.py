@@ -80,6 +80,10 @@ class Tracer:
         self._ids = itertools.count(1)
         #: Per-track stack of open spans, for implicit parenting.
         self._open: Dict[str, List[Span]] = {}
+        #: Optional ``listener(span)`` called when a span opens — the fault
+        #: injector's phase-trigger point.  None (the default) costs one
+        #: attribute check per begin().
+        self.span_listener = None
 
     # -- recording -----------------------------------------------------------
 
@@ -103,6 +107,8 @@ class Tracer:
                     self.sim.now, parent_id=parent_id, attrs=dict(attrs))
         self.spans.append(span)
         stack.append(span)
+        if self.span_listener is not None:
+            self.span_listener(span)
         return span
 
     def end(self, span: Span, **attrs: Any) -> Span:

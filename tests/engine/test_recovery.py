@@ -13,7 +13,12 @@ from repro.engine.recovery import RecoveryError, RecoveryManager
 
 
 def counting_job():
-    """Keyed sum with a deterministic, replayable feed."""
+    """Keyed sum with a deterministic, replayable feed.
+
+    Returns ``(job, produced)``: ``produced`` counts records per key as the
+    generator offers them — an oracle independent of the source's replay
+    history, which the RecoveryManager trims behind retained checkpoints.
+    """
     graph = JobGraph("recovery", num_key_groups=8)
     graph.add_source("src", parallelism=1)
     graph.add_operator(OperatorSpec(
@@ -25,18 +30,20 @@ def counting_job():
     graph.connect("src", "agg", Partitioning.HASH)
     graph.connect("agg", "sink", Partitioning.FORWARD)
     job = StreamJob(graph).build()
+    produced = {}
 
     def gen():
         src = job.sources()[0]
         i = 0
         while job.sim.now < 30.0:
-            src.offer(Record(key=f"k{i % 12}", event_time=job.sim.now,
-                             count=1))
+            key = f"k{i % 12}"
+            src.offer(Record(key=key, event_time=job.sim.now, count=1))
+            produced[key] = produced.get(key, 0) + 1
             i += 1
             yield job.sim.timeout(0.01)
 
     job.sim.spawn(gen())
-    return job
+    return job, produced
 
 
 def total_state(job):
@@ -49,7 +56,7 @@ def total_state(job):
 
 
 def test_recovery_restores_exact_state():
-    job = counting_job()
+    job, produced = counting_job()
     coordinator = CheckpointCoordinator(job, interval=2.0)
     coordinator.start()
     manager = RecoveryManager(job).install()
@@ -59,16 +66,11 @@ def test_recovery_restores_exact_state():
     assert done.triggered
     # Exactly-once state: after replay finishes, every key's count equals
     # the number of records the generator produced for it.
-    produced = {}
-    src = job.sources()[0]
-    for element in src._history:
-        if isinstance(element, Record):
-            produced[element.key] = produced.get(element.key, 0) + 1
     assert total_state(job) == produced
 
 
 def test_recovery_rolls_back_to_latest_completed_checkpoint():
-    job = counting_job()
+    job, _produced = counting_job()
     coordinator = CheckpointCoordinator(job, interval=2.0)
     coordinator.start()
     manager = RecoveryManager(job).install()
@@ -83,7 +85,7 @@ def test_recovery_rolls_back_to_latest_completed_checkpoint():
 
 
 def test_recovery_costs_downtime():
-    job = counting_job()
+    job, _produced = counting_job()
     coordinator = CheckpointCoordinator(job, interval=2.0)
     coordinator.start()
     manager = RecoveryManager(job, restart_seconds=3.0).install()
@@ -98,7 +100,7 @@ def test_recovery_costs_downtime():
 def test_at_least_once_output():
     """Records between the checkpoint and the failure replay: the sink sees
     at least everything the generator produced."""
-    job = counting_job()
+    job, produced = counting_job()
     coordinator = CheckpointCoordinator(job, interval=2.0)
     coordinator.start()
     manager = RecoveryManager(job).install()
@@ -106,13 +108,11 @@ def test_at_least_once_output():
     done = manager.fail_and_recover()
     job.run(until=45.0)
     assert done.triggered
-    produced = sum(1 for e in job.sources()[0]._history
-                   if isinstance(e, Record))
-    assert job.sink_logic().records_in >= produced
+    assert job.sink_logic().records_in >= sum(produced.values())
 
 
 def test_recovery_without_checkpoint_fails():
-    job = counting_job()
+    job, _produced = counting_job()
     manager = RecoveryManager(job).install()
     job.run(until=1.0)
     with pytest.raises(RecoveryError):
@@ -120,7 +120,7 @@ def test_recovery_without_checkpoint_fails():
 
 
 def test_recovery_requires_install():
-    job = counting_job()
+    job, _produced = counting_job()
     manager = RecoveryManager(job)
     with pytest.raises(RecoveryError):
         manager.fail_and_recover()
@@ -131,7 +131,7 @@ def test_recovery_after_rescale_restores_rescaled_topology():
     recovery restores state onto all four instances."""
     from repro.core.drrs import DRRSController
 
-    job = counting_job()
+    job, produced = counting_job()
     coordinator = CheckpointCoordinator(job, interval=2.0)
     coordinator.start()
     manager = RecoveryManager(job).install()
@@ -145,15 +145,11 @@ def test_recovery_after_rescale_restores_rescaled_topology():
     job.run(until=45.0)
     assert done.triggered
     assert len(job.instances("agg")) == 4
-    produced = {}
-    for element in job.sources()[0]._history:
-        if isinstance(element, Record):
-            produced[element.key] = produced.get(element.key, 0) + 1
     assert total_state(job) == produced
 
 
 def test_rewind_validates_offset():
-    job = counting_job()
+    job, _produced = counting_job()
     src = job.sources()[0]
     with pytest.raises(RuntimeError):
         src.rewind_to(0)

@@ -1,0 +1,124 @@
+"""Recovery edge cases: no checkpoint, double failures, post-rescale
+crashes, and a seeded fault-time property sweep."""
+
+import random
+
+import pytest
+
+from repro.engine import (CheckpointCoordinator, JobGraph, KeyedReduceLogic,
+                          OperatorSpec, Partitioning, Record, StreamJob)
+from repro.engine.recovery import RecoveryError, RecoveryManager
+from repro.faults.invariants import check_all
+
+
+def counting_job(stop_at=30.0, parallelism=2):
+    graph = JobGraph("edges", num_key_groups=8)
+    graph.add_source("src", parallelism=1)
+    graph.add_operator(OperatorSpec(
+        "agg",
+        logic_factory=lambda: KeyedReduceLogic(
+            lambda old, r: (old or 0) + r.count),
+        parallelism=parallelism, service_time=2e-4, keyed=True))
+    graph.add_sink("sink")
+    graph.connect("src", "agg", Partitioning.HASH)
+    graph.connect("agg", "sink", Partitioning.FORWARD)
+    job = StreamJob(graph).build()
+    produced = {}
+
+    def gen():
+        src = job.sources()[0]
+        i = 0
+        while job.sim.now < stop_at:
+            key = f"k{i % 12}"
+            src.offer(Record(key=key, event_time=job.sim.now, count=1))
+            produced[key] = produced.get(key, 0) + 1
+            i += 1
+            yield job.sim.timeout(0.01)
+
+    job.sim.spawn(gen())
+    return job, produced
+
+
+def total_state(job):
+    totals = {}
+    for inst in job.instances("agg"):
+        for group in inst.state.groups():
+            for key, value in group.entries.items():
+                totals[key] = value
+    return totals
+
+
+def test_failure_before_first_checkpoint_completes():
+    job, _produced = counting_job()
+    coordinator = CheckpointCoordinator(job, interval=5.0)
+    coordinator.start()
+    manager = RecoveryManager(job).install()
+    # Run just long enough for traffic but not for checkpoint #1 to
+    # complete its full alignment round.
+    job.run(until=0.05)
+    with pytest.raises(RecoveryError):
+        manager.fail_and_recover("too early")
+
+
+def test_double_failure_during_restore():
+    job, produced = counting_job()
+    coordinator = CheckpointCoordinator(job, interval=2.0)
+    coordinator.start()
+    # Long restart window so the second failure reliably lands inside
+    # the first restore.
+    manager = RecoveryManager(job, restart_seconds=2.0).install()
+    job.run(until=10.0)
+    first = manager.fail_and_recover("first")
+    job.run(until=10.5)  # mid-restore: restart window is still open
+    assert not first.triggered
+    second = manager.fail_and_recover("second")
+    job.run(until=40.0)
+    assert first.triggered and second.triggered
+    assert len(manager.recoveries) == 2
+    assert total_state(job) == produced
+
+
+def test_failure_right_after_rescale_completes():
+    from repro.core.drrs import DRRSController
+
+    job, produced = counting_job()
+    coordinator = CheckpointCoordinator(job, interval=2.0)
+    coordinator.start()
+    manager = RecoveryManager(job, restart_seconds=0.5,
+                              retain_checkpoints=50).install()
+    controller = DRRSController(job)
+    holder = {}
+
+    def kick():
+        holder["done"] = controller.request_rescale("agg", 4)
+
+    job.sim.call_at(6.0, kick)
+    job.run(until=20.0)
+    done = holder["done"]
+    assert done.triggered and done._ok
+    assert len(job.instances("agg")) == 4
+    # Crash immediately after the scale settles; the restored topology
+    # must keep the post-rescale parallelism and exact state.
+    manager.fail_and_recover("post-rescale crash")
+    job.run(until=45.0)
+    assert len(job.instances("agg")) == 4
+    assert total_state(job) == produced
+    assert check_all(job, "agg", oracle=produced) == []
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_seeded_crash_time_property(seed):
+    """Whatever instant the crash lands at, recovery restores
+    exactly-once keyed state and unique key-group ownership."""
+    rng = random.Random(seed)
+    crash_at = rng.uniform(3.0, 14.0)
+    job, produced = counting_job(stop_at=16.0)
+    coordinator = CheckpointCoordinator(job, interval=1.5)
+    coordinator.start()
+    manager = RecoveryManager(job, restart_seconds=0.3).install()
+    job.sim.call_at(crash_at,
+                    lambda: manager.fail_and_recover(f"seeded@{crash_at}"))
+    job.run(until=45.0)
+    assert manager.recoveries
+    assert check_all(job, "agg", oracle=produced) == [], (
+        f"seed={seed} crash_at={crash_at}")

@@ -1,0 +1,134 @@
+"""FaultInjector: inertness, determinism, windows, phase triggers."""
+
+import pytest
+
+from repro.engine import (CheckpointCoordinator, JobGraph, KeyedReduceLogic,
+                          OperatorSpec, Partitioning, Record, StreamJob)
+from repro.engine.recovery import RecoveryManager
+from repro.faults import (CrashInstance, DropRecords, DuplicateRecords,
+                          FaultInjector)
+
+
+def small_job(stop_at=6.0):
+    graph = JobGraph("inj", num_key_groups=8)
+    graph.add_source("src", parallelism=1)
+    graph.add_operator(OperatorSpec(
+        "agg",
+        logic_factory=lambda: KeyedReduceLogic(
+            lambda old, r: (old or 0) + r.count),
+        parallelism=2, service_time=1e-4, keyed=True))
+    graph.add_sink("sink")
+    graph.connect("src", "agg", Partitioning.HASH)
+    graph.connect("agg", "sink", Partitioning.FORWARD)
+    job = StreamJob(graph).build()
+    produced = {}
+
+    def gen():
+        src = job.sources()[0]
+        i = 0
+        while job.sim.now < stop_at:
+            key = f"k{i % 10}"
+            src.offer(Record(key=key, event_time=job.sim.now, count=1))
+            produced[key] = produced.get(key, 0) + 1
+            i += 1
+            yield job.sim.timeout(0.01)
+
+    job.sim.spawn(gen())
+    return job, produced
+
+
+def merged_state(job):
+    totals = {}
+    for inst in job.instances("agg"):
+        for group in inst.state.groups():
+            for key, value in group.entries.items():
+                totals[key] = totals.get(key, 0) + value
+    return totals
+
+
+def test_armed_empty_injector_is_inert():
+    job_a, _ = small_job()
+    job_a.run(until=10.0)
+    job_b, _ = small_job()
+    FaultInjector(job_b, seed=3).arm()
+    job_b.run(until=10.0)
+    assert job_b.sim.events_processed == job_a.sim.events_processed
+
+
+def test_fault_needs_a_trigger():
+    job, _ = small_job()
+    with pytest.raises(ValueError):
+        FaultInjector(job).add(CrashInstance("agg", 0))
+
+
+def test_crash_before_any_checkpoint_is_reported_not_raised():
+    job, _ = small_job()
+    recovery = RecoveryManager(job).install()
+    injector = FaultInjector(job, recovery=recovery, seed=0)
+    injector.add(CrashInstance("agg", 0, at=0.5)).arm()
+    job.run(until=3.0)
+    assert injector.injected  # it fired ...
+    assert injector.errors    # ... but nothing was recoverable
+    assert "checkpoint" in injector.errors[0][1]
+
+
+def test_drop_window_loses_records():
+    job, produced = small_job()
+    injector = FaultInjector(job, seed=1)
+    injector.add(DropRecords("src", "agg", duration=1.0,
+                             probability=1.0, at=2.0)).arm()
+    job.run(until=10.0)
+    state = merged_state(job)
+    assert sum(state.values()) < sum(produced.values())
+
+
+def test_duplicate_window_double_counts():
+    job, produced = small_job()
+    injector = FaultInjector(job, seed=1)
+    injector.add(DuplicateRecords("src", "agg", duration=1.0,
+                                  probability=1.0, at=2.0)).arm()
+    job.run(until=10.0)
+    state = merged_state(job)
+    assert sum(state.values()) > sum(produced.values())
+
+
+def test_phase_trigger_fires_on_span_open():
+    from repro.core.drrs import DRRSController
+
+    job, _ = small_job(stop_at=8.0)
+    job.enable_telemetry()
+    checkpoints = CheckpointCoordinator(job, interval=1.0)
+    checkpoints.start()
+    recovery = RecoveryManager(job, restart_seconds=0.2).install()
+    controller = DRRSController(job)
+    job.sim.call_at(4.0, lambda: controller.request_rescale("agg", 3))
+    injector = FaultInjector(job, recovery=recovery, seed=0)
+    injector.add(CrashInstance("agg", 0, phase="state-transfer")).arm()
+    job.run(until=20.0)
+    assert injector.injected
+    when, kind, _detail = injector.injected[0]
+    assert kind == "CrashInstance"
+    assert when >= 4.0  # only once the migration actually began
+    assert recovery.recoveries
+
+
+def test_phase_trigger_requires_telemetry():
+    job, _ = small_job()
+    injector = FaultInjector(job, seed=0)
+    with pytest.raises(ValueError):
+        injector.add(CrashInstance("agg", 0, phase="state-transfer")).arm()
+
+
+def test_same_seed_same_run():
+    def one_run():
+        job, produced = small_job()
+        checkpoints = CheckpointCoordinator(job, interval=1.0)
+        checkpoints.start()
+        recovery = RecoveryManager(job, restart_seconds=0.2).install()
+        injector = FaultInjector(job, recovery=recovery, seed=5)
+        injector.add(DropRecords("src", "agg", duration=0.4,
+                                 probability=0.5, at=1.3)).arm()
+        job.run(until=12.0)
+        return job.sim.events_processed, list(injector.injected)
+
+    assert one_run() == one_run()
