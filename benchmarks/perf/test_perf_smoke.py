@@ -11,8 +11,13 @@ for them.  Semantics regressions are caught by the golden-trace tests
 instead.
 """
 
-from repro.perf import BENCH_SCALES, run_e2e_bench, run_kernel_bench
-from repro.perf.benches import write_bench_files
+import copy
+
+import pytest
+
+from repro.perf import (BENCH_SCALES, compare_bench_docs, format_delta_table,
+                        run_e2e_bench, run_kernel_bench)
+from repro.perf.benches import BENCH_SCHEMA, write_bench_files
 
 KERNEL_BENCHES = ("timeout_storm", "callback_chain", "event_pingpong",
                   "channel_throughput")
@@ -20,8 +25,11 @@ KERNEL_BENCHES = ("timeout_storm", "callback_chain", "event_pingpong",
 
 def test_kernel_bench_smoke():
     doc = run_kernel_bench("smoke")
-    assert doc["schema"] == "repro-bench/1"
+    assert doc["schema"] == BENCH_SCHEMA == "repro-bench/2"
     assert doc["scale"] == "smoke"
+    assert doc["stat"] == "best"
+    assert doc["config"]["record_plane"] == "batched"
+    assert doc["config"]["max_batch_size"] >= 2
     for name in KERNEL_BENCHES:
         result = doc["results"][name]
         assert result["wall_s"] > 0
@@ -50,3 +58,76 @@ def test_write_bench_files_embeds_baseline(tmp_path):
         assert doc["bench"] == name
         assert "pre_pr" in doc
         assert "speedup_vs_pre_pr" in doc
+
+
+def test_median_stat_picks_a_real_run():
+    doc = run_kernel_bench("smoke", best_of=3, stat="median")
+    assert doc["best_of"] == 3
+    assert doc["stat"] == "median"
+    for name in KERNEL_BENCHES:
+        assert doc["results"][name]["wall_s"] > 0
+
+
+def _fake_kernel_doc():
+    return {
+        "schema": BENCH_SCHEMA, "bench": "kernel", "scale": "smoke",
+        "results": {
+            "callback_chain": {"callbacks": 100, "wall_s": 0.1,
+                               "callbacks_per_s": 1000.0},
+            "channel_throughput": {"elements": 100, "wall_s": 0.1,
+                                   "elements_per_s": 1000.0,
+                                   "kernel_events": 500},
+        },
+    }
+
+
+def test_compare_passes_within_threshold():
+    base = _fake_kernel_doc()
+    current = copy.deepcopy(base)
+    current["results"]["callback_chain"]["callbacks_per_s"] = 950.0
+    rows, regressions = compare_bench_docs(current, base, threshold=0.10)
+    assert regressions == []
+    assert {r["bench"] for r in rows} >= {"callback_chain",
+                                          "channel_throughput"}
+    assert not any(r["regressed"] for r in rows)
+
+
+def test_compare_flags_regression_past_threshold():
+    base = _fake_kernel_doc()
+    current = copy.deepcopy(base)
+    current["results"]["channel_throughput"]["elements_per_s"] = 800.0
+    rows, regressions = compare_bench_docs(current, base, threshold=0.10)
+    assert len(regressions) == 1
+    assert "channel_throughput.elements_per_s" in regressions[0]
+    table = format_delta_table(rows)
+    assert "REGRESSED" in table
+    markdown = format_delta_table(rows, markdown=True)
+    assert markdown.startswith("| bench |")
+
+
+def test_compare_reports_event_count_drift_without_failing():
+    base = _fake_kernel_doc()
+    current = copy.deepcopy(base)
+    current["results"]["channel_throughput"]["kernel_events"] = 499
+    rows, regressions = compare_bench_docs(current, base)
+    assert regressions == []
+    drift = [r for r in rows if r["metric"] == "kernel_events"]
+    assert len(drift) == 1 and drift[0]["current"] == 499
+
+
+def test_compare_rejects_scale_mismatch():
+    base = _fake_kernel_doc()
+    current = copy.deepcopy(base)
+    current["scale"] = "full"
+    with pytest.raises(ValueError, match="scale mismatch"):
+        compare_bench_docs(current, base)
+
+
+def test_compare_e2e_records_per_sec():
+    base = {"schema": BENCH_SCHEMA, "bench": "e2e", "scale": "smoke",
+            "results": {"records_per_sec": 1000.0, "kernel_events": 7}}
+    current = copy.deepcopy(base)
+    current["results"]["records_per_sec"] = 500.0
+    rows, regressions = compare_bench_docs(current, base)
+    assert len(regressions) == 1
+    assert "e2e_q7.records_per_sec" in regressions[0]

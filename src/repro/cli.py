@@ -191,30 +191,97 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from .perf import write_bench_files
+    import os
+
+    from .perf import compare_bench_docs, format_delta_table, \
+        write_bench_files
 
     written = write_bench_files(output_dir=args.output, scale=args.scale,
-                                which=args.only)
+                                which=args.only, best_of=args.best_of,
+                                stat=args.stat)
     docs = {}
     for name, path in written.items():
         with open(path) as f:
             docs[name] = json.load(f)
+
+    baselines = {}
+    for path in args.compare or ():
+        with open(path) as f:
+            doc = json.load(f)
+        baselines[doc.get("bench")] = doc
+    unmatched = set(baselines) - set(docs)
+    if unmatched:
+        raise SystemExit(f"--compare baseline(s) for {sorted(unmatched)} "
+                         "have no matching current bench (check --only)")
+
+    def _compare_all():
+        rows, regs = [], {}
+        for name, doc in docs.items():
+            if name in baselines:
+                suite_rows, bad = compare_bench_docs(
+                    doc, baselines[name], threshold=args.threshold)
+                rows += suite_rows
+                if bad:
+                    regs[name] = bad
+        return rows, regs
+
+    # A wall-clock dip must survive re-measurement to count: single-box
+    # throughput noise routinely exceeds the threshold, so each regressed
+    # suite is re-run up to --retry times and only a persistent drop fails.
+    all_rows, per_suite = _compare_all()
+    for attempt in range(args.retry):
+        if not per_suite:
+            break
+        print(f"[possible regression in {sorted(per_suite)}; re-measuring "
+              f"(retry {attempt + 1}/{args.retry})]", file=sys.stderr)
+        for suite in per_suite:
+            rewritten = write_bench_files(
+                output_dir=args.output, scale=args.scale, which=suite,
+                best_of=args.best_of, stat=args.stat)
+            with open(rewritten[suite]) as f:
+                docs[suite] = json.load(f)
+        all_rows, per_suite = _compare_all()
+    regressions = [line for bad in per_suite.values() for line in bad]
+
     if args.json:
-        print(json.dumps(docs, indent=1, sort_keys=True))
-        return 0
-    for name, path in written.items():
-        doc = docs[name]
-        print(f"[{name} bench written to {path}]")
-        speedup = doc.get("speedup_vs_pre_pr")
-        if name == "e2e":
-            rps = doc["results"].get("records_per_sec", 0.0)
-            line = f"  {rps:,.0f} records/s"
-            if speedup is not None:
-                line += f"  ({speedup:.2f}x vs pre-PR)"
-            print(line)
-        elif isinstance(speedup, dict):
-            for bench_name, ratio in sorted(speedup.items()):
-                print(f"  {bench_name}: {ratio:.2f}x vs pre-PR")
+        out = dict(docs)
+        if baselines:
+            out["compare"] = {"rows": all_rows, "regressions": regressions}
+        print(json.dumps(out, indent=1, sort_keys=True))
+    else:
+        for name, path in written.items():
+            doc = docs[name]
+            print(f"[{name} bench written to {path}]")
+            speedup = doc.get("speedup_vs_pre_pr")
+            if name == "e2e":
+                rps = doc["results"].get("records_per_sec", 0.0)
+                line = f"  {rps:,.0f} records/s"
+                if speedup is not None:
+                    line += f"  ({speedup:.2f}x vs pre-PR)"
+                print(line)
+            elif isinstance(speedup, dict):
+                for bench_name, ratio in sorted(speedup.items()):
+                    print(f"  {bench_name}: {ratio:.2f}x vs pre-PR")
+        if all_rows:
+            print()
+            print(format_delta_table(all_rows))
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path and all_rows:
+        with open(summary_path, "a") as f:
+            f.write("### Bench deltas vs baseline "
+                    f"(threshold -{100 * args.threshold:.0f}%)\n\n")
+            f.write(format_delta_table(all_rows, markdown=True))
+            f.write("\n\n")
+            if regressions:
+                f.write("**REGRESSIONS:**\n\n")
+                f.writelines(f"- {line}\n" for line in regressions)
+                f.write("\n")
+
+    if regressions:
+        for line in regressions:
+            print(f"REGRESSION: {line}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -312,6 +379,24 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run just one suite")
     p_bench.add_argument("--json", action="store_true",
                          help="also print the bench documents as JSON")
+    p_bench.add_argument("--best-of", type=int, default=None,
+                         help="repetitions per bench (default: harness "
+                              "BEST_OF)")
+    p_bench.add_argument("--stat", default="best",
+                         choices=("best", "median"),
+                         help="reduce the repetitions to the fastest run "
+                              "or the median run (CI uses median)")
+    p_bench.add_argument("--compare", action="append", metavar="BASELINE",
+                         help="baseline BENCH_*.json to diff against; "
+                              "repeatable (one per suite); exits non-zero "
+                              "if any throughput drops past --threshold")
+    p_bench.add_argument("--threshold", type=float, default=0.10,
+                         help="relative drop that counts as a regression "
+                              "(default 0.10 = 10%%)")
+    p_bench.add_argument("--retry", type=int, default=2,
+                         help="re-measure a regressed suite up to N times; "
+                              "only a drop that persists through every "
+                              "retry fails the gate (default 2)")
 
     from .experiments.chaos_bank import CHAOS_SCENARIOS
     p_chaos = sub.add_parser(

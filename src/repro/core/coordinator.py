@@ -221,6 +221,11 @@ class ScaleCoordinator:
         assignment = self.job.assignments[op_name]
         for kg in subscale.key_groups:
             assignment.apply_move(kg, subscale.dst_index)
+        # The authoritative swap above and the per-sender in-band swaps
+        # below are not atomic; drop every sender-side routing cache now so
+        # the window holds no stale key-group -> channel entries (the
+        # in-band set_routing writes re-invalidate per edge as they land).
+        self.job.invalidate_routing_caches(op_name)
         # Control-plane command to the predecessors.
         yield self.sim.timeout(self.controller.control_latency)
         self.controller.metrics.signal_injected(subscale.subscale_id,

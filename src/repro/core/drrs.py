@@ -269,6 +269,12 @@ class DRRSController(ScalingController):
             if wave_span is not None and not wave_span.closed:
                 telemetry.tracer.end(wave_span, rolled_back=True)
         self._install_redirectors(redirected)
+        # Defense-in-depth for the bulk revert above: every sender-side
+        # key-group -> channel cache targeting the operator is dropped, so
+        # a cache entry that survived the per-entry set_routing writes (or
+        # was populated mid-rollback by an emitting batch) cannot steer
+        # records at the rolled-back destination.
+        job.invalidate_routing_caches(op_name)
         if span is not None:
             telemetry.tracer.end(span, subscales_rolled_back=rolled,
                                  retry=retry)

@@ -227,7 +227,10 @@ class BacklogPolicy(ScalingPolicy):
         total = 0
         for inst in self.job.instances(self.operator):
             for channel in inst.input_channels:
-                total += len(channel.queue)
+                # Visibility-aware logical depth: batch members still "on
+                # the wire" in per-record terms must not inflate the
+                # backlog the policy reacts to.
+                total += len(channel)
         for source in self.job.sources():
             total += source.backlog
         return total

@@ -25,7 +25,7 @@ from typing import Callable, Deque, List, Optional, TYPE_CHECKING
 
 from ..simulation.kernel import Event, Simulator, _Callback
 from .cluster import LinkSpec
-from .records import StreamElement, Watermark
+from .records import RecordBatch, StreamElement, Watermark
 
 if TYPE_CHECKING:  # pragma: no cover
     from .operators import OperatorInstance
@@ -51,7 +51,10 @@ class Channel:
                  "sender", "telemetry", "_drain_parked",
                  "_drain_entry", "_ship_entry", "_deliver_entry",
                  "_serializing", "_serializing_epoch", "_wire",
-                 "fault_hook")
+                 "fault_hook", "batching", "max_batch", "_job",
+                 "_deferred", "_credit_wake_at", "_reservations",
+                 "_reserve_wake_at", "_ship_due", "_fused_entry",
+                 "_fuse_due")
 
     def __init__(self, sim: Simulator, link: LinkSpec, name: str = "",
                  outbox_capacity: int = 64, inbox_capacity: int = 64):
@@ -94,11 +97,44 @@ class Channel:
         self._drain_entry = _Callback(self._drain_loop)
         self._ship_entry = _Callback(self._ship)
         self._deliver_entry = _Callback(self._deliver_next)
+        self._fused_entry = _Callback(self._ship_deliver)
+        #: Scheduled time of a fused singleton ship+deliver dispatch (the
+        #: element's arrival time), or None when the split per-record
+        #: eventing is in effect.  See ``_ship_deliver``.
+        self._fuse_due: Optional[float] = None
         self._serializing: Optional[StreamElement] = None
         # Epoch captured when the serializing element left the outbox: a
         # flush() mid-serialize must still invalidate it.
         self._serializing_epoch = 0
         self._wire: Deque = deque()  # (element, epoch) pairs
+        #: Micro-batched shipping.  Off by default so standalone channels
+        #: (unit tests, benches) keep per-element behaviour; StreamJob
+        #: flips it on at wiring time when the job's record plane is
+        #: ``"batched"``.
+        self.batching = False
+        self.max_batch = 64
+        #: Owning StreamJob (None for standalone channels); consulted live
+        #: for ``scaling_active`` so batches never span a rescale window.
+        self._job = None
+        #: Due times of flow-control credits owed by records the consumer
+        #: popped *early* (analytic batch execution pops the whole batch at
+        #: formation; the per-record plane would return each credit at that
+        #: record's service boundary).  Sorted ascending; materialized
+        #: lazily at kick/drain time, with an explicit wake-up when the
+        #: drainer would otherwise stall past a due time.
+        self._deferred: Deque[float] = deque()
+        self._credit_wake_at: Optional[float] = None
+        #: Release times of *virtual outbox slots*: a ship batch empties k
+        #: slots at formation where the per-record drainer would free them
+        #: one serialize at a time, so k-1 phantom occupants keep send-side
+        #: capacity (backpressure onset) bit-identical.  Sorted ascending,
+        #: expired lazily.
+        self._reservations: Deque[float] = deque()
+        self._reserve_wake_at: Optional[float] = None
+        #: Scheduled time of the live ship-completion entry.  A batch
+        #: unwind retargets the ship to an earlier boundary; the superseded
+        #: heap position is recognised (and ignored) by this time.
+        self._ship_due = 0.0
 
     # -- sender API ----------------------------------------------------------
 
@@ -113,7 +149,8 @@ class Channel:
             # pre-succeeded event costs neither an allocation nor a heap
             # push at send time.
             return self.sim.done
-        if len(self.outbox) < self.outbox_capacity:
+        if (len(self.outbox) if not self._reservations
+                else self._occupied()) < self.outbox_capacity:
             # Accepted immediately: kick the drainer and hand the sender the
             # shared pre-succeeded event — no allocation, no heap push, and
             # the sender's generator resumes synchronously (see
@@ -126,13 +163,18 @@ class Channel:
                 "channel.backpressure_blocks", channel=self.name).inc()
         ev = self.sim.event()
         self._send_waiters.append((ev, element))
+        if self._reservations:
+            # The per-record drainer would free the next phantom slot (and
+            # grant this waiter) at its release time; wake up then.
+            self._schedule_reserve_wake()
         return ev
 
     def try_send(self, element: StreamElement) -> bool:
         """Non-blocking send; False when the outbox is full."""
         if self._closed:
             return True  # accept and drop
-        if len(self.outbox) >= self.outbox_capacity:
+        if (len(self.outbox) if not self._reservations
+                else self._occupied()) >= self.outbox_capacity:
             return False
         self.outbox.append(element)
         self._kick()
@@ -245,9 +287,90 @@ class Channel:
 
     @property
     def backlog(self) -> int:
-        """Total unconsumed elements on this channel end-to-end."""
-        inbox = len(self.input_channel.queue) if self.input_channel else 0
+        """Total unconsumed elements on this channel end-to-end.
+
+        Batch members not yet past their per-record delivery time count
+        here (the per-record plane would still have them in flight), so
+        the sum matches the reference plane exactly.
+        """
+        inbox = self.input_channel.total_depth() if self.input_channel else 0
         return len(self.outbox) + self._in_flight + inbox
+
+    def quiesce(self) -> None:
+        """Collapse sender-side batch state to the per-record equivalent.
+
+        Called when the plane collapses (rescale window, fault injection,
+        recovery).  A ship batch mid-serialize is *unwound*: members whose
+        per-record serialization would not have started yet go back to the
+        outbox head (credits, in-flight counts and phantom slots restored),
+        and the ship completion retargets to the in-progress member's
+        boundary — from there the per-element drain reproduces the exact
+        per-record ship/delivery times.  Scaling-time outbox surgery
+        (``extract_outbox``/``inject_confirm``/``send_front``) then sees
+        exactly the elements the reference plane would hold.
+        """
+        if self._fuse_due is not None:
+            self._downgrade_fuse()
+        batch = self._serializing
+        if batch is not None and batch.__class__ is RecordBatch:
+            self._unwind_serializing(batch)
+        if self._deferred:
+            self.materialize_credits(self.sim._now)
+
+    def _unwind_serializing(self, batch: RecordBatch) -> None:
+        sim = self.sim
+        now = sim._now
+        latency = self.link.latency
+        vis = batch.visible_times
+        k = len(batch.records)
+        # Member j (0-based) serializes until vis[j] - latency; the first
+        # boundary still in the future marks the in-progress member.
+        progress = None
+        for j in range(k):
+            if vis[j] - latency > now:
+                progress = j
+                break
+        if progress is None or progress == k - 1:
+            return  # nothing beyond the in-progress member to unwind
+        cut = progress + 1
+        tail = batch.records[cut:]
+        n = len(tail)
+        outbox = self.outbox
+        for rec in reversed(tail):
+            outbox.appendleft(rec)
+        self.credits += n
+        # Only a batch still on the wire carries the members in
+        # `_in_flight`; once delivered (short-latency links) the tally was
+        # already settled at the deliver dispatch.
+        for entry, _epoch in self._wire:
+            if entry is batch:
+                self._in_flight -= n
+                break
+        reservations = self._reservations
+        dropped = 0
+        while reservations and dropped < n and reservations[-1] > now:
+            reservations.pop()
+            dropped += 1
+        if self.telemetry is not None:
+            registry = self.telemetry.registry
+            registry.counter("channel.elements_shipped",
+                             channel=self.name).inc(-n)
+            tail_bytes = 0.0
+            for rec in tail:
+                tail_bytes += rec.size_bytes
+            registry.counter("channel.bytes_shipped",
+                             channel=self.name).inc(-tail_bytes)
+            batch.size_bytes -= tail_bytes
+        else:
+            for rec in tail:
+                batch.size_bytes -= rec.size_bytes
+        # Truncate in place: the same object sits on the wire (or already
+        # in the receiver's queue), so the consumer view shrinks with it.
+        del batch.records[cut:]
+        del vis[cut:]
+        due = vis[progress] - latency
+        self._ship_due = due
+        sim.schedule_entry(due, self._ship_entry)
 
     def flush(self) -> None:
         """Discard everything queued or in flight (failure recovery).
@@ -263,6 +386,10 @@ class Channel:
             if not ev.triggered:
                 ev.succeed()
         self.credits = self.inbox_capacity
+        # Credits are whole again and in-flight batches are invalidated:
+        # pending early-pop credits and phantom outbox slots die with them.
+        self._deferred.clear()
+        self._reservations.clear()
         self._kick()
 
     def close(self) -> None:
@@ -274,6 +401,8 @@ class Channel:
         for ev, _element in waiters:
             if not ev.triggered:
                 ev.succeed()
+        self._deferred.clear()
+        self._reservations.clear()
         self._kick()
 
     # -- receiver attachment -------------------------------------------------
@@ -289,8 +418,37 @@ class Channel:
 
     # -- internals -------------------------------------------------------------
 
+    def _occupied(self) -> int:
+        """Outbox occupancy including unexpired virtual slot reservations."""
+        res = self._reservations
+        now = self.sim._now
+        while res and res[0] <= now:
+            res.popleft()
+        return len(self.outbox) + len(res)
+
+    def _schedule_reserve_wake(self) -> None:
+        """Wake blocked senders when the next virtual slot frees."""
+        res = self._reservations
+        if not res:
+            return
+        due = res[0]
+        at = self._reserve_wake_at
+        if at is not None and at <= due:
+            return
+        self._reserve_wake_at = due
+        self.sim.call_at(due, self._reserve_fire)
+
+    def _reserve_fire(self) -> None:
+        self._reserve_wake_at = None
+        if self._send_waiters and not self._closed:
+            self._grant_sends()
+            if self._send_waiters and self._reservations:
+                self._schedule_reserve_wake()
+
     def _grant_sends(self) -> None:
-        while self._send_waiters and len(self.outbox) < self.outbox_capacity:
+        while self._send_waiters and (
+                len(self.outbox) if not self._reservations
+                else self._occupied()) < self.outbox_capacity:
             waiter, element = self._send_waiters.popleft()
             if waiter.triggered:
                 continue
@@ -320,19 +478,75 @@ class Channel:
           _grant_sends/inject_confirm, close is terminal, pop's credit
           return, attach), so a parked drainer can never be stranded.
         """
+        if self._fuse_due is not None and self.outbox and not self._closed:
+            # A fused singleton is in flight and new work arrived: restore
+            # the split eventing so the next serialize starts at the exact
+            # per-record boundary (ship completion or right now).
+            self._downgrade_fuse()
         if (self._drain_parked and not self._closed and self.outbox
                 and self.input_channel is not None):
             if self.credits <= 0:
-                if self.telemetry is not None:
-                    # The drain pass this kick would have started would
-                    # have stalled on flow control; count it here since
-                    # the pass itself is elided.
-                    self.telemetry.registry.counter(
-                        "channel.credit_stalls", channel=self.name).inc()
-                return
+                if self._deferred \
+                        and self.materialize_credits(self.sim._now):
+                    pass  # an early-pop credit came due: drain proceeds
+                else:
+                    if self._deferred:
+                        self._schedule_credit_wake()
+                    if self.telemetry is not None:
+                        # The drain pass this kick would have started would
+                        # have stalled on flow control; count it here since
+                        # the pass itself is elided.
+                        self.telemetry.registry.counter(
+                            "channel.credit_stalls", channel=self.name).inc()
+                    return
             self._drain_parked = False
             sim = self.sim
             sim.schedule_entry(sim._now, self._drain_entry)
+
+    # -- deferred early-pop credits -------------------------------------------
+
+    def defer_credit(self, due: float) -> None:
+        """Register a flow-control credit that comes due at time ``due``.
+
+        Dues are registered in ascending order (analytic batch boundaries),
+        keeping :attr:`_deferred` sorted.
+        """
+        self._deferred.append(due)
+
+    def cancel_deferred_credit(self, due: float) -> None:
+        """Drop one pending credit with time ``due`` (batch preemption
+        hands the record back unconsumed, so its pop never happened)."""
+        d = self._deferred
+        for i in range(len(d) - 1, -1, -1):
+            if d[i] == due:
+                del d[i]
+                return
+
+    def materialize_credits(self, now: float) -> int:
+        """Convert every deferred credit with due time <= ``now``."""
+        d = self._deferred
+        n = 0
+        while d and d[0] <= now:
+            d.popleft()
+            n += 1
+        if n:
+            self.credits += n
+        return n
+
+    def _schedule_credit_wake(self) -> None:
+        d = self._deferred
+        if not d:
+            return
+        due = d[0]
+        at = self._credit_wake_at
+        if at is not None and at <= due:
+            return
+        self._credit_wake_at = due
+        self.sim.call_at(due, self._credit_fire)
+
+    def _credit_fire(self) -> None:
+        self._credit_wake_at = None
+        self._kick()
 
     def _drain_loop(self) -> None:
         """Serialize and ship outbox elements until blocked or drained.
@@ -343,19 +557,34 @@ class Channel:
         """
         sim = self.sim
         while True:
+            if self._deferred:
+                self.materialize_credits(sim._now)
             if (self._closed or not self.outbox or self.credits <= 0
                     or self.input_channel is None):
                 if self._closed:
                     return
-                if (self.telemetry is not None and self.outbox
-                        and self.credits <= 0
+                if (self.outbox and self.credits <= 0
                         and self.input_channel is not None):
-                    # Flow control, not emptiness, is stalling the drainer.
-                    self.telemetry.registry.counter(
-                        "channel.credit_stalls", channel=self.name).inc()
+                    if self._deferred:
+                        # Stalled on flow control with early-pop credits
+                        # pending: the per-record drainer would resume at
+                        # the next pop boundary.
+                        self._schedule_credit_wake()
+                    if self.telemetry is not None:
+                        # Flow control, not emptiness, is stalling the
+                        # drainer.
+                        self.telemetry.registry.counter(
+                            "channel.credit_stalls", channel=self.name).inc()
                 self._drain_parked = True
                 return
             element = self.outbox.popleft()
+            if (self.batching and element.is_record and self.credits >= 2
+                    and self.outbox and self.fault_hook is None
+                    and not self._send_waiters
+                    and (self._job is None
+                         or not self._job.scaling_active)):
+                if self._form_batch(element):
+                    return
             if self.telemetry is not None:
                 registry = self.telemetry.registry
                 registry.counter("channel.elements_shipped",
@@ -370,25 +599,190 @@ class Channel:
             if serialize > 0:
                 self._serializing = element
                 self._serializing_epoch = self._epoch
-                sim.schedule_entry(sim._now + serialize, self._ship_entry)
+                due = sim._now + serialize
+                self._ship_due = due
+                if (self.batching and not self.outbox
+                        and not self._send_waiters
+                        and self.fault_hook is None
+                        and (self._job is None
+                             or not self._job.scaling_active)):
+                    # Nothing queued behind this element: the ship
+                    # completion's only job would be scheduling the deliver
+                    # dispatch, so fuse both into one dispatch at the
+                    # arrival time.  Ship/delivery instants are unchanged;
+                    # any kick that needs the drain re-entry the fusion
+                    # elides (a send that should pipeline at `due`)
+                    # downgrades back to the split eventing first.
+                    self._fuse_due = due + self.link.latency
+                    sim.schedule_entry(self._fuse_due, self._fused_entry)
+                    return
+                sim.schedule_entry(due, self._ship_entry)
                 return
             self._wire.append((element, self._epoch))
             sim.schedule_entry(sim._now + self.link.latency,
                                self._deliver_entry)
 
+    def _form_batch(self, first: StreamElement) -> Optional[RecordBatch]:
+        """Pop the record run at the outbox head into one wire batch.
+
+        The batch's per-record ship/delivery times are the exact cumulative
+        serialize sums the per-record drainer would produce; only the heap
+        traffic (one ship + one deliver dispatch for the whole run) is
+        amortized.  Adaptive sizing falls out of the gates: available
+        credits and outbox occupancy cap the run, so backpressure shrinks
+        batches and an idle channel ships whatever the drain kick found.
+        Returns None (nothing popped beyond ``first``) when no second
+        eligible record follows.
+        """
+        link = self.link
+        bandwidth = link.bandwidth
+        ser = first.size_bytes / bandwidth
+        if ser <= 0:
+            return None
+        outbox = self.outbox
+        nxt = outbox[0]
+        if not nxt.is_record or nxt.size_bytes / bandwidth <= 0:
+            return None
+        sim = self.sim
+        limit = min(self.credits, self.max_batch)
+        records = [first]
+        s = sim._now + ser
+        ship_times = [s]
+        total = first.size_bytes
+        while len(records) < limit and outbox:
+            nxt = outbox[0]
+            if not nxt.is_record:
+                break
+            nser = nxt.size_bytes / bandwidth
+            if nser <= 0:
+                break
+            outbox.popleft()
+            records.append(nxt)
+            s += nser
+            ship_times.append(s)
+            total += nxt.size_bytes
+        if len(records) == 1:
+            # The run evaporated (head re-checked ineligible): restore the
+            # per-element path for `first`.
+            return None
+        telemetry = self.telemetry
+        if telemetry is not None:
+            registry = telemetry.registry
+            shipped = registry.counter("channel.elements_shipped",
+                                       channel=self.name)
+            shipped_bytes = registry.counter("channel.bytes_shipped",
+                                             channel=self.name)
+            for rec in records:
+                shipped.inc()
+                shipped_bytes.inc(rec.size_bytes)
+        k = len(records)
+        latency = link.latency
+        visible = [t + latency for t in ship_times]
+        self.credits -= k
+        self._in_flight += k
+        batch = RecordBatch(records, visible, total)
+        epoch = self._epoch
+        # On the wire at formation: the deliver dispatch fires at the
+        # *first* member's per-record delivery time; later members become
+        # visible at theirs without further heap traffic.
+        self._wire.append((batch, epoch))
+        sim.schedule_entry(visible[0], self._deliver_entry)
+        # The serialize slot stays busy until the last member ships.
+        self._serializing = batch
+        self._serializing_epoch = epoch
+        self._ship_due = ship_times[-1]
+        sim.schedule_entry(ship_times[-1], self._ship_entry)
+        # Members 2..k vacated their outbox slots early; phantom occupants
+        # keep send-side capacity identical until the per-record pop times.
+        reservations = self._reservations
+        for t in ship_times[:-1]:
+            reservations.append(t)
+        return batch
+
+    def _ship_deliver(self) -> None:
+        """Fused singleton ship completion + delivery (batched plane).
+
+        Fires at the element's arrival time; the serialize completed at
+        ``_ship_due`` with nothing queued behind it, so no drain re-entry
+        was needed in between (``_downgrade_fuse`` restores the split
+        eventing whenever that stops being true before this fires).
+        """
+        if self._fuse_due != self.sim._now:
+            return  # downgraded to the split path, or a stale heap position
+        self._fuse_due = None
+        element, self._serializing = self._serializing, None
+        if element is None:
+            return
+        self._in_flight -= 1
+        if self._serializing_epoch == self._epoch:
+            self._deliver_one(element)
+        self._drain_loop()
+
+    def _downgrade_fuse(self) -> None:
+        """Collapse a fused ship+deliver back to split per-record eventing.
+
+        Called when something needs the drain re-entry or the parked state
+        the fusion elided: a send that should start serializing at the ship
+        boundary, or a plane collapse (quiesce) about to perform outbox
+        surgery.  Restores the exact per-record channel state for the
+        current time; the fused heap position dies on its time guard.
+        """
+        sim = self.sim
+        self._fuse_due = None
+        if sim._now < self._ship_due:
+            # Still serializing: restore the classic ship completion, which
+            # re-enters the drain loop at the per-record boundary.
+            sim.schedule_entry(self._ship_due, self._ship_entry)
+            return
+        # Serialize already finished: per-record state at this instant is
+        # "element on the wire awaiting delivery, drainer parked".
+        element, self._serializing = self._serializing, None
+        if element is None:
+            return
+        self._wire.append((element, self._serializing_epoch))
+        sim.schedule_entry(self._ship_due + self.link.latency,
+                           self._deliver_entry)
+        self._drain_parked = True
+
     def _ship(self) -> None:
         """Serialize finished: put the element on the wire, keep draining."""
         sim = self.sim
+        if sim._now != self._ship_due:
+            return  # superseded heap position (a batch unwind retargeted)
         element, self._serializing = self._serializing, None
-        self._wire.append((element, self._serializing_epoch))
-        sim.schedule_entry(sim._now + self.link.latency, self._deliver_entry)
+        if element is None:
+            return
+        if element.__class__ is not RecordBatch:
+            self._wire.append((element, self._serializing_epoch))
+            sim.schedule_entry(sim._now + self.link.latency,
+                               self._deliver_entry)
+        # A batch went on the wire at formation with its deliver dispatch
+        # already scheduled; this entry only marks the serialize slot free.
         self._drain_loop()
 
     def _deliver_next(self) -> None:
         element, epoch = self._wire.popleft()
+        if element.__class__ is RecordBatch:
+            self._in_flight -= len(element.records)
+            if epoch != self._epoch:
+                return  # flushed while in flight: dropped (all members)
+            if self.input_channel is None:
+                return
+            if self.batching and (self._job is None
+                                  or not self._job.scaling_active):
+                self.input_channel.deliver_batch(element)
+            else:
+                # The plane collapsed (rescale window, fault injection,
+                # recovery) while the batch was in flight: fall back to
+                # per-record delivery at the original per-record times.
+                self._explode(element, epoch)
+            return
         self._in_flight -= 1
         if epoch != self._epoch:
             return  # flushed while in flight: dropped
+        self._deliver_one(element)
+
+    def _deliver_one(self, element: StreamElement) -> None:
         hook = self.fault_hook
         if hook is not None:
             action = hook(self, element)
@@ -400,6 +794,25 @@ class Channel:
                 self.input_channel.deliver(element)
         if self.input_channel is not None:
             self.input_channel.deliver(element)
+
+    def _explode(self, batch: RecordBatch, epoch: int) -> None:
+        """Deliver a batch's members individually: past-due members land
+        now (in order), future ones at their original per-record times."""
+        sim = self.sim
+        now = sim._now
+        records = batch.records
+        visible = batch.visible_times
+        for i in range(batch.next_index, len(records)):
+            if visible[i] <= now:
+                self._deliver_one(records[i])
+            else:
+                sim.call_at(
+                    visible[i],
+                    lambda r=records[i], e=epoch: self._deliver_late(r, e))
+
+    def _deliver_late(self, element: StreamElement, epoch: int) -> None:
+        if epoch == self._epoch:
+            self._deliver_one(element)
 
     def _deliver_control(self, element: StreamElement) -> None:
         if self.input_channel is not None:
@@ -413,12 +826,17 @@ class InputChannel:
     """The receiver-side view of one channel: the per-channel input cache."""
 
     __slots__ = ("instance", "name", "queue", "channel", "watermark",
-                 "block_tokens", "is_auxiliary")
+                 "block_tokens", "is_auxiliary", "_nbatches")
 
     def __init__(self, instance: "OperatorInstance", name: str = ""):
         self.instance = instance
         self.name = name
         self.queue: Deque[StreamElement] = deque()
+        #: Number of RecordBatch carriers currently in ``queue``.  Kept as
+        #: an explicit count (not derived) so the zero case — all of the
+        #: per-record plane, and most of the batched plane's control flow —
+        #: stays a single truthiness test on the hot path.
+        self._nbatches = 0
         self.channel: Optional[Channel] = None
         #: Latest watermark seen on this channel.
         self.watermark = float("-inf")
@@ -437,24 +855,60 @@ class InputChannel:
 
     def block(self, token) -> None:
         self.block_tokens.add(token)
+        # An analytic consume-batch was formed against the old block state;
+        # collapse it so subsequent poll decisions see the new one.
+        inst = self.instance
+        if getattr(inst, "_batch_records", None) is not None:
+            inst.preempt_batch()
 
     def unblock(self, token) -> None:
         self.block_tokens.discard(token)
+        inst = self.instance
+        if getattr(inst, "_batch_records", None) is not None:
+            inst.preempt_batch()
         if not self.block_tokens:
-            self.instance.wake.fire()
+            inst.wake.fire()
 
     def deliver(self, element: StreamElement) -> None:
         self.queue.append(element)
+        self.instance.wake.fire()
+
+    def deliver_batch(self, batch: RecordBatch) -> None:
+        """Queue a micro-batch carrier (one wake, k records)."""
+        self.queue.append(batch)
+        self._nbatches += 1
         self.instance.wake.fire()
 
     def deliver_control(self, element: StreamElement) -> None:
         self.instance.on_control(self, element)
 
     def peek(self) -> Optional[StreamElement]:
-        return self.queue[0] if self.queue else None
+        if not self.queue:
+            return None
+        head = self.queue[0]
+        if head.__class__ is RecordBatch:
+            index = head.next_index
+            if head.visible_times[index] <= self.instance.sim.now:
+                return head.records[index]
+            return None  # not yet delivered on the per-record plane
+        return head
 
     def pop(self) -> StreamElement:
         """Consume the head element and return its flow-control credit."""
+        if self._nbatches:
+            head = self.queue[0]
+            if head.__class__ is RecordBatch:
+                index = head.next_index
+                element = head.records[index]
+                head.next_index = index + 1
+                if head.next_index == len(head.records):
+                    self.queue.popleft()
+                    self._nbatches -= 1
+                channel = self.channel
+                if channel is not None:
+                    channel.credits += 1
+                    channel._kick()
+                return element
         element = self.queue.popleft()
         channel = self.channel
         if channel is not None:
@@ -478,8 +932,69 @@ class InputChannel:
         if watermark.timestamp > self.watermark:
             self.watermark = watermark.timestamp
 
+    def materialize(self, now: float) -> None:
+        """Explode queued batch carriers back to individual records.
+
+        Members already visible (their per-record delivery time has
+        passed) take the carrier's place in the queue; members still "on
+        the wire" in per-record terms are re-delivered at their original
+        times through the backing channel's delivery path (epoch-checked,
+        fault hook consulted).  Called when the plane collapses — scaling
+        window, fault injection, recovery — so every consumer-side
+        structure holds only plain elements afterwards.
+        """
+        if not self._nbatches:
+            return
+        out: Deque[StreamElement] = deque()
+        channel = self.channel
+        sim = self.instance.sim
+        for element in self.queue:
+            if element.__class__ is not RecordBatch:
+                out.append(element)
+                continue
+            vis = element.visible_times
+            records = element.records
+            for i in range(element.next_index, len(records)):
+                if vis[i] <= now:
+                    out.append(records[i])
+                elif channel is not None:
+                    sim.call_at(
+                        vis[i],
+                        lambda r=records[i], e=channel._epoch:
+                        channel._deliver_late(r, e))
+                else:
+                    sim.call_at(vis[i],
+                                lambda r=records[i]: self.deliver(r))
+        self.queue = out
+        self._nbatches = 0
+
+    def total_depth(self) -> int:
+        """All unconsumed members, including not-yet-visible ones."""
+        if not self._nbatches:
+            return len(self.queue)
+        n = 0
+        for element in self.queue:
+            n += len(element) if element.__class__ is RecordBatch else 1
+        return n
+
     def __len__(self) -> int:
-        return len(self.queue)
+        if not self._nbatches:
+            return len(self.queue)
+        # Logical depth the per-record plane would report: batch members
+        # past their per-record delivery time count, later ones do not.
+        n = 0
+        now = self.instance.sim.now
+        for element in self.queue:
+            if element.__class__ is RecordBatch:
+                vis = element.visible_times
+                for i in range(element.next_index, len(element.records)):
+                    if vis[i] <= now:
+                        n += 1
+                    else:
+                        break
+            else:
+                n += 1
+        return n
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"<InputChannel {self.name} depth={len(self.queue)}>"

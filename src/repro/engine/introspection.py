@@ -30,7 +30,7 @@ def instance_rows(job: StreamJob, operator: Optional[str] = None,
     names = [operator] if operator else list(job.graph.operators)
     for name in names:
         for inst in job.instances(name):
-            inbox = sum(len(ch.queue) for ch in inst.input_channels)
+            inbox = sum(len(ch) for ch in inst.input_channels)
             outbox = sum(ch.backlog for ch in inst.router.all_channels())
             row = {
                 "instance": inst.name,
@@ -84,7 +84,7 @@ def channel_rows(job: StreamJob, min_backlog: int = 1) -> List[Dict]:
                         "channel": channel.name,
                         "outbox": len(channel.outbox),
                         "in_flight": channel._in_flight,
-                        "inbox": (len(channel.input_channel.queue)
+                        "inbox": (len(channel.input_channel)
                                   if channel.input_channel else 0),
                         "credits": channel.credits,
                     })

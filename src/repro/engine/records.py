@@ -23,6 +23,7 @@ from typing import Any, Optional
 __all__ = [
     "StreamElement",
     "Record",
+    "RecordBatch",
     "Watermark",
     "LatencyMarker",
     "CheckpointBarrier",
@@ -115,6 +116,78 @@ class Record(StreamElement):
                 f"count={self.count!r}, size_bytes={self.size_bytes!r}, "
                 f"created_at={self.created_at!r}, "
                 f"record_id={self.record_id!r})")
+
+
+class RecordBatch(StreamElement):
+    """A micro-batch of :class:`Record` entities moving as one carrier.
+
+    A transport/scheduling envelope, not a semantic unit: the records inside
+    keep their individual identity (ids, lineage, per-record delivery times)
+    and the batched plane must stay bit-identical to moving them one at a
+    time.  Batches never cross a time signal (watermark/barrier) and are
+    exploded back to individual records whenever a consumer, fault window or
+    rescale re-routing window needs per-record visibility.
+
+    Attributes:
+        records: the member records, in channel FIFO order.
+        visible_times: per-record times at which each member *would* have
+            been delivered by the per-record plane (monotone non-decreasing).
+            A member is visible to consumers once ``sim.now >= visible_times[i]``.
+        next_index: consumption cursor — members below it are already popped.
+        size_bytes: total serialized bytes (sum of member sizes).
+    """
+
+    __slots__ = ("records", "visible_times", "next_index", "size_bytes")
+
+    def __init__(self, records, visible_times=None, size_bytes=None):
+        self.records = records
+        self.visible_times = visible_times
+        self.next_index = 0
+        if size_bytes is None:
+            size_bytes = 0.0
+            for rec in records:
+                size_bytes += rec.size_bytes
+        self.size_bytes = size_bytes
+
+    def __len__(self) -> int:
+        return len(self.records) - self.next_index
+
+    @property
+    def count(self) -> int:
+        """Total physical records across unconsumed members."""
+        total = 0
+        for rec in self.records[self.next_index:]:
+            total += rec.count
+        return total
+
+    def keys(self):
+        """Keys of unconsumed members (lineage/debug view)."""
+        return [rec.key for rec in self.records[self.next_index:]]
+
+    def event_times(self):
+        """Event times of unconsumed members (lineage/debug view)."""
+        return [rec.event_time for rec in self.records[self.next_index:]]
+
+    def lineage_span(self):
+        """``(src_origin, first_seq, last_seq)`` when members share one
+        origin and carry lineage, else ``None``."""
+        recs = self.records[self.next_index:]
+        if not recs:
+            return None
+        origin = recs[0].src_origin
+        if origin is None:
+            return None
+        seqs = []
+        for rec in recs:
+            if rec.src_origin != origin or rec.src_seq is None:
+                return None
+            seqs.append(rec.src_seq)
+        return (origin, min(seqs), max(seqs))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"RecordBatch(n={len(self.records)}, "
+                f"next_index={self.next_index}, "
+                f"size_bytes={self.size_bytes!r})")
 
 
 class Watermark(StreamElement):

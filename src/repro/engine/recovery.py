@@ -130,6 +130,10 @@ class RecoveryManager:
         if self._installed:
             return self
         self._installed = True
+        # Recovery needs per-record capture (lineage for consistent cuts)
+        # and auxiliary-lane holds — both bypassed by analytic batches, so
+        # the batched plane is permanently collapsed for this job.
+        self.job.disable_batching()
         self.job.snapshot_listener = self._on_snapshot
         self.job.flight_landed_hook = self._on_flight_landed
         self.job.record_capture_listener = self._on_record

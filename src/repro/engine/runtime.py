@@ -51,6 +51,14 @@ class JobConfig:
     #: default transfer bandwidth fraction this caps aggregate state traffic
     #: at roughly the host link rate.
     max_concurrent_transfers_per_host: int = 4
+    #: Record plane: ``"batched"`` moves micro-batches end-to-end through
+    #: the source→channel→operator hot loop (bit-identical semantics,
+    #: golden-trace enforced); ``"single"`` is the per-record reference
+    #: implementation.
+    record_plane: str = "batched"
+    #: Upper bound on records per micro-batch; credits and channel
+    #: occupancy shrink actual batches below this.
+    max_batch_size: int = 64
 
 
 @dataclass
@@ -219,6 +227,14 @@ class StreamJob:
         self.sim = sim or Simulator()
         self.metrics = metrics or MetricsCollector()
         self.config = config or JobConfig()
+        if self.config.record_plane not in ("batched", "single"):
+            raise ValueError(
+                f"unknown record_plane: {self.config.record_plane!r} "
+                "(expected 'batched' or 'single')")
+        #: True while the micro-batched record plane is active.  Cleared
+        #: (permanently) by :meth:`disable_batching` — fault injection and
+        #: failure recovery need per-record visibility everywhere.
+        self._batching = self.config.record_plane == "batched"
         self._instances: Dict[str, List[OperatorInstance]] = {}
         #: Current (authoritative) key-group assignment per keyed operator.
         self.assignments: Dict[str, KeyGroupAssignment] = {}
@@ -375,6 +391,10 @@ class StreamJob:
             inbox_capacity=self.config.inbox_capacity)
         channel.sender = sender
         channel.telemetry = self.telemetry
+        if self._batching:
+            channel.batching = True
+            channel.max_batch = self.config.max_batch_size
+        channel._job = self
         input_channel = dst.add_input_channel(name=channel.name)
         channel.attach(input_channel)
         out_edge.add_channel(channel)
@@ -391,11 +411,78 @@ class StreamJob:
 
     def run(self, until: Optional[float] = None) -> float:
         self.start()
-        return self.sim.run(until=until)
+        end = self.sim.run(until=until)
+        if self._batching:
+            # The per-record plane leaves every record whose service ended
+            # by `until` fully applied; catch analytic batch application up
+            # to the stop time so metrics reads between runs are identical.
+            self._sync_batches()
+        return end
 
     def stop(self) -> None:
         for instance in self.all_instances():
             instance.stop()
+
+    # -- record-plane control ------------------------------------------------------
+
+    def quiesce_batches(self) -> None:
+        """Collapse all in-flight micro-batches to per-record state.
+
+        Preempts active analytic batch executions (unfinished members go
+        back to their input channels) and explodes batches queued at input
+        channels; batches still on a wire explode at delivery (the deliver
+        path re-checks the plane).  Formation gates check ``scaling_active``
+        and channel flags live, so callers that need a per-record window
+        (scaling, recovery, fault injection) quiesce once and the plane
+        stays collapsed for as long as their gate holds.
+        """
+        now = self.sim.now
+        instances = self.all_instances()
+        for instance in instances:
+            preempt = getattr(instance, "preempt_batch", None)
+            if preempt is not None:
+                preempt()
+        # Sender side first: unwinding a mid-serialize ship batch truncates
+        # the shared carrier, so the consumer-side materialize below sees
+        # only the members that per-record serialization had committed.
+        for instance in instances:
+            for channel in instance.router.all_channels():
+                channel.quiesce()
+        for instance in instances:
+            for input_channel in instance.input_channels:
+                input_channel.materialize(now)
+
+    def disable_batching(self) -> None:
+        """Permanently fall back to the per-record reference plane.
+
+        Installed by the fault injector and the recovery manager: record-
+        window fault triggers and restore-time queue surgery need individual
+        records everywhere.  Idempotent.
+        """
+        if not self._batching:
+            return
+        self._batching = False
+        for instance in self.all_instances():
+            for channel in instance.router.all_channels():
+                channel.batching = False
+        self.quiesce_batches()
+
+    def _sync_batches(self) -> None:
+        """Apply the completed prefix of every active analytic batch."""
+        for instance in self.all_instances():
+            sync = getattr(instance, "sync_batch", None)
+            if sync is not None:
+                sync()
+
+    def invalidate_routing_caches(self, op_name: str) -> None:
+        """Drop every sender-side routing cache targeting ``op_name``.
+
+        ``OutputEdge.set_routing`` already invalidates on each table write;
+        this hook is the defense-in-depth sweep for bulk ownership swaps
+        (DRRS re-routing table swap, ``abort_and_rollback`` restores).
+        """
+        for _sender, edge in self.senders_to(op_name):
+            edge.invalidate_cache()
 
     # -- queries ------------------------------------------------------------------
 

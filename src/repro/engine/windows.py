@@ -56,6 +56,11 @@ class SlidingWindowAggregateLogic(OperatorLogic):
     then purges the pane and releases its state bytes.
     """
 
+    # Pane feeding reads only the record (event_time/count/value) and the
+    # state backend — never sim.now — and emits nothing per record, so the
+    # batched plane may apply records analytically at their end times.
+    batch_eligible = True
+
     def __init__(self, size: float, slide: float,
                  agg_fn: Callable[[Any, Record], Any] = None,
                  bytes_per_record: float = 512.0,
@@ -180,6 +185,10 @@ class WindowedJoinLogic(OperatorLogic):
     On window fire, emits one record per key-group pane where both sides are
     present (value = (#left, #right)).
     """
+
+    # Same contract as SlidingWindowAggregateLogic: per-record feeding is
+    # time-blind and silent, so analytic batch application is exact.
+    batch_eligible = True
 
     def __init__(self, size: float, slide: Optional[float] = None,
                  side_fn: Callable[[Record], str] = None,

@@ -44,7 +44,7 @@ __all__ = ["CHAOS_SCENARIOS", "chaos_scenario"]
 def _keyed_job(stop_at: float, num_key_groups: int = 16,
                parallelism: int = 2, keys: int = 24,
                state_bytes_per_group: float = 2e6,
-               gap: float = 0.01):
+               gap: float = 0.01, job_config=None):
     """source → keyed sum → sink plus a counting oracle.
 
     The generator tallies ``produced[key]`` as it offers records, so the
@@ -62,7 +62,7 @@ def _keyed_job(stop_at: float, num_key_groups: int = 16,
     graph.add_sink("sink")
     graph.connect("src", "agg", Partitioning.HASH)
     graph.connect("agg", "sink", Partitioning.FORWARD)
-    job = StreamJob(graph).build()
+    job = StreamJob(graph, config=job_config).build()
     produced: Dict[str, int] = {}
 
     def gen():
@@ -126,13 +126,20 @@ def _expect_spans(job, want_rollback: bool = True,
 # -- scenarios ---------------------------------------------------------------
 
 
-def _crash_mid_subscale(seed: int) -> ChaosSetup:
+def _crash_mid_subscale(seed: int, job_config=None) -> ChaosSetup:
     """§IV-C acceptance: crash mid-subscale, recover from a checkpoint
-    taken during the scaling operation, finish the rescale via retry."""
+    taken during the scaling operation, finish the rescale via retry.
+
+    ``job_config`` lets the plane-equivalence tests force
+    ``record_plane="single"``; the default job starts batched and is
+    collapsed by the recovery/injector hooks, and both must behave
+    identically.
+    """
     from ..core.drrs import DRRSController
 
     job, produced = _keyed_job(stop_at=14.0,
-                               state_bytes_per_group=24e6)
+                               state_bytes_per_group=24e6,
+                               job_config=job_config)
     job.enable_telemetry()
     checkpoints = CheckpointCoordinator(job, interval=0.75)
     checkpoints.start()

@@ -81,9 +81,14 @@ def capture_q7_trace(system: Optional[str] = "drrs",
                      warmup: float = 10.0,
                      post: float = 25.0,
                      new_parallelism: int = 12,
-                     telemetry: bool = False) -> Dict[str, Any]:
+                     telemetry: bool = False,
+                     record_plane: Optional[str] = None) -> Dict[str, Any]:
     """Run a NEXMark Q7 scenario (optionally under a DRRS rescale) and
-    return its semantic trace document."""
+    return its semantic trace document.
+
+    ``record_plane`` selects "batched" or "single" (None = engine default);
+    the semantic subtree must be identical either way.
+    """
     from .figures import controller_factory
 
     workload = make_workload("q7", QUICK)
@@ -93,6 +98,7 @@ def capture_q7_trace(system: Optional[str] = "drrs",
         new_parallelism=new_parallelism,
         warmup=warmup,
         post_duration=post,
+        record_plane=record_plane,
         label=f"golden-q7/{system or 'no-scale'}",
         telemetry=telemetry)
     result = run_experiment(config)
@@ -121,6 +127,8 @@ def capture_q7_trace(system: Optional[str] = "drrs",
         # legitimately remove internal kernel bookkeeping events).
         "info": {
             "kernel_events": job.sim.events_processed,
+            "record_plane": job.config.record_plane,
+            "max_batch_size": job.config.max_batch_size,
         },
     }
     return doc

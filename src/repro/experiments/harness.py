@@ -48,6 +48,11 @@ class ExperimentConfig:
     stabilize_hold: float = 10.0
     cluster: Optional[ClusterModel] = None
     job_config: Optional[JobConfig] = None
+    #: Record-plane knobs without constructing a full JobConfig: when
+    #: ``job_config`` is None these build one ("batched"/"single", and the
+    #: batch-size cap).  Ignored when an explicit job_config is given.
+    record_plane: Optional[str] = None
+    max_batch_size: Optional[int] = None
     label: str = ""
     #: Opt-in structured tracing: when True the job's telemetry subsystem
     #: is enabled before warm-up and exposed on the result.  Off by default
@@ -151,8 +156,16 @@ def detect_scaling_period(latency_series: List[Tuple[float, float]],
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     """Execute the three-phase protocol and collect the figure inputs."""
     workload = config.workload
-    job = workload.build(cluster=config.cluster,
-                         job_config=config.job_config)
+    job_config = config.job_config
+    if job_config is None and (config.record_plane is not None
+                               or config.max_batch_size is not None):
+        overrides = {}
+        if config.record_plane is not None:
+            overrides["record_plane"] = config.record_plane
+        if config.max_batch_size is not None:
+            overrides["max_batch_size"] = config.max_batch_size
+        job_config = JobConfig(**overrides)
+    job = workload.build(cluster=config.cluster, job_config=job_config)
     telemetry = job.enable_telemetry() if config.telemetry else None
     job.run(until=config.warmup)
 

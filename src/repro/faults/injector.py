@@ -218,6 +218,12 @@ class FaultInjector:
         """Register a fault spec; returns self for chaining."""
         if fault.at is None and fault.phase is None:
             raise ValueError("fault needs a trigger: set at= or phase=")
+        # Fault windows need per-record channel hooks (drop/duplicate act
+        # on individual deliveries), so the batched record plane is
+        # collapsed as soon as a real fault exists — chaos scenarios
+        # exercise the reference plane by construction.  An injector that
+        # never receives a fault stays inert.
+        self.job.disable_batching()
         self.pending.append(fault)
         if self._armed:
             self._arm_one(fault)

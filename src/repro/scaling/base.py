@@ -339,6 +339,12 @@ class ScalingController:
         return done
 
     def _run_scale(self, op_name, plan, scale_id, done):
+        if not self.job.scaling_active:
+            # Entering the first concurrent rescale window: collapse the
+            # batched record plane to per-record state so every protocol
+            # below (outbox surgery, channel extraction, drain-to-
+            # quiescence) sees exactly what the reference plane would hold.
+            self.job.quiesce_batches()
         self.job.scaling_active += 1
         self.job.active_scalers.append(self)
         telemetry = self.job.telemetry

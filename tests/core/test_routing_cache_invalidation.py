@@ -1,0 +1,79 @@
+"""Sender-side routing-cache invalidation across rescale and rollback.
+
+The batched record plane makes the key-group -> channel cache on every
+``OutputEdge`` hotter (bursts resolve a channel once per run, not per
+record), so a stale entry surviving a routing swap would steer whole
+batches at the wrong owner.  These tests pin the two bulk-swap paths that
+must sweep the caches: the DRRS subscale routing swap and
+``abort_and_rollback``.
+"""
+
+import sys
+
+sys.path.insert(0, "tests")
+from helpers import (assert_assignment_consistent, build_keyed_job,
+                     drive)  # noqa: E402
+
+from repro.core.drrs import DRRSConfig, DRRSController
+
+
+def _assert_caches_match_assignment(job, op_name):
+    """Every cached key-group -> channel entry agrees with the sender's
+    routing table, which agrees with the authoritative assignment."""
+    assignment = job.assignments[op_name].as_dict()
+    for _sender, edge in job.senders_to(op_name):
+        for kg, channel in edge._channel_cache.items():
+            assert edge.channels[edge.routing_table[kg]] is channel, (
+                f"stale cache entry for kg {kg}")
+            assert edge.routing_table[kg] == assignment[kg], (
+                f"sender table for kg {kg} disagrees with assignment")
+
+
+def test_post_swap_records_land_on_new_owner():
+    """Rescale mid-stream under the batched plane: records emitted after
+    the routing swap must be processed by the new owners."""
+    job = build_keyed_job()
+    drive(job, until=30.0)
+    job.run(until=5.0)
+    controller = DRRSController(job, DRRSConfig())
+    done = controller.request_rescale("agg", 4)
+    job.run(until=15.0)
+    assert done.triggered
+    assert_assignment_consistent(job, "agg")
+
+    instances = job.instances("agg")
+    before = [inst.records_processed for inst in instances]
+    job.run(until=25.0)
+    fresh = [inst.records_processed - b
+             for inst, b in zip(instances, before)]
+    assignment = job.assignments["agg"].as_dict()
+    moved = [kg for kg, owner in assignment.items() if owner >= 2]
+    assert moved, "the rescale moved no key-groups to the new instances"
+    assert any(fresh[i] > 0 for i in range(2, 4)), (
+        f"new owners processed nothing post-swap: {fresh}")
+    _assert_caches_match_assignment(job, "agg")
+
+
+def test_abort_and_rollback_sweeps_sender_caches():
+    """Aborting mid-scale drops every sender cache targeting the operator,
+    and records after the revert land back at the restored sources."""
+    job = build_keyed_job()
+    drive(job, until=30.0)
+    job.run(until=5.0)
+    controller = DRRSController(job, DRRSConfig())
+    controller.request_rescale("agg", 4)
+    job.run(until=5.05)
+    assert controller.active, "scale finished before the abort window"
+    # Warm the caches so the sweep has something real to drop.
+    for _sender, edge in job.senders_to("agg"):
+        for kg in edge.routing_table:
+            edge._channel_cache[kg] = edge.channels[edge.routing_table[kg]]
+
+    controller.abort_and_rollback(reason="test", retry=False)
+    for _sender, edge in job.senders_to("agg"):
+        assert not edge._channel_cache, (
+            "abort_and_rollback left a warm sender cache behind")
+
+    job.run(until=12.0)
+    assert_assignment_consistent(job, "agg")
+    _assert_caches_match_assignment(job, "agg")
