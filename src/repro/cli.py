@@ -9,6 +9,7 @@ Examples::
     python -m repro workload twitch --until 30
     python -m repro trace q8 --system drrs --output trace.json
     python -m repro bench --scale smoke --json
+    python -m repro autoscale --scale smoke --json --check
 """
 
 from __future__ import annotations
@@ -31,6 +32,15 @@ from .experiments.report import format_table as _format_table
 from .experiments.scenarios import make_workload
 
 __all__ = ["main", "FIGURES"]
+
+#: Shared exit-status contract for check-style subcommands, shown in
+#: their ``--help`` epilog.  ``{fail}`` names what exit 1 means there.
+EXIT_CONTRACT = """\
+exit status:
+  0  run completed and every check passed
+  1  {fail}
+  2  usage error (bad arguments or unreadable input files)
+"""
 
 
 def _fig11_text(out) -> str:
@@ -56,12 +66,19 @@ SYSTEMS = ("drrs", "megaphone", "meces", "otfs", "otfs-all-at-once",
 WORKLOADS = ("q7", "q8", "twitch", "custom")
 
 
+def _usage_error(message: str) -> SystemExit:
+    """Exit 2 (usage) with a message — the argparse convention, kept
+    for errors surfacing after parse time (see EXIT_CONTRACT)."""
+    print(f"repro: error: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
 def _scenario(name: str):
     if name == "quick":
         return QUICK
     if name == "paper":
         return PAPER
-    raise SystemExit(f"unknown scale {name!r}: use 'quick' or 'paper'")
+    raise _usage_error(f"unknown scale {name!r}: use 'quick' or 'paper'")
 
 
 def _cmd_list(_args) -> int:
@@ -206,13 +223,18 @@ def _cmd_bench(args) -> int:
 
     baselines = {}
     for path in args.compare or ():
-        with open(path) as f:
-            doc = json.load(f)
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as error:
+            raise _usage_error(
+                f"cannot read --compare baseline {path}: {error}")
         baselines[doc.get("bench")] = doc
     unmatched = set(baselines) - set(docs)
     if unmatched:
-        raise SystemExit(f"--compare baseline(s) for {sorted(unmatched)} "
-                         "have no matching current bench (check --only)")
+        raise _usage_error(
+            f"--compare baseline(s) for {sorted(unmatched)} have no "
+            "matching current bench (check --only)")
 
     def _compare_all():
         rows, regs = [], {}
@@ -281,6 +303,62 @@ def _cmd_bench(args) -> int:
     if regressions:
         for line in regressions:
             print(f"REGRESSION: {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_autoscale(args) -> int:
+    from .experiments.diurnal import (DIURNAL_POLICIES, DiurnalConfig,
+                                      compare_policies, run_diurnal)
+
+    overrides = {}
+    if args.slo is not None:
+        overrides["slo"] = args.slo
+    config = DiurnalConfig(scale=args.scale, seed=args.seed, **overrides)
+    if args.policy == "compare":
+        doc = compare_policies(config)
+        ok = bool(doc["criteria"]["passed"])
+        runs = doc["policies"]
+    else:
+        doc = run_diurnal(args.policy, config)
+        ok = doc["attainment"] >= config.attainment_target
+        runs = {args.policy: doc}
+    text = json.dumps(doc, indent=1, sort_keys=True)
+    if args.json:
+        print(text)
+    else:
+        savings = doc.get("instance_seconds_savings", {})
+        rows = []
+        for name in DIURNAL_POLICIES:
+            if name not in runs:
+                continue
+            run = runs[name]
+            rows.append({
+                "policy": name,
+                "attainment": run["attainment"],
+                "violations": f"{run['violations']}/{run['windows']}",
+                "ramp_viol": (f"{run['ramp_violations']}"
+                              f"/{run['ramp_windows']}"),
+                "p99_s": run["p99_latency"],
+                "inst_sec": run["instance_seconds"],
+                "rescales": run["rescales"],
+                "savings": savings.get(name, ""),
+            })
+        print(_format_table(
+            rows, title=f"diurnal day ({config.scale}, seed "
+                        f"{config.seed}, SLO {config.slo}s, attainment "
+                        f"target {config.attainment_target})"))
+        if args.policy == "compare":
+            print()
+            for key, value in doc["criteria"].items():
+                print(f"  {key}: {'PASS' if value else 'FAIL'}")
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text + "\n")
+        if not args.json:
+            print(f"[report saved to {args.output}]")
+    if args.check and not ok:
+        print("autoscale: acceptance criteria FAILED", file=sys.stderr)
         return 1
     return 0
 
@@ -370,7 +448,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser(
         "bench",
         help="run the wall-clock perf benches and write "
-             "BENCH_kernel.json / BENCH_e2e.json")
+             "BENCH_kernel.json / BENCH_e2e.json",
+        epilog=EXIT_CONTRACT.format(
+            fail="a --compare baseline shows a throughput regression "
+                 "past --threshold that persists through every --retry"),
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     p_bench.add_argument("--scale", default="full",
                          choices=("smoke", "full"))
     p_bench.add_argument("--output", default=".",
@@ -402,7 +484,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos = sub.add_parser(
         "chaos",
         help="run seeded fault-injection scenarios and check the §IV-C "
-             "safety invariants")
+             "safety invariants",
+        epilog=EXIT_CONTRACT.format(
+            fail="any safety invariant is violated"),
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     p_chaos.add_argument("scenario", nargs="?", default="all",
                          choices=("all",) + tuple(sorted(CHAOS_SCENARIOS)),
                          help="scenario name (default: every scenario)")
@@ -413,6 +498,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--json", action="store_true",
                          help="print the report as JSON instead of "
                               "summaries")
+
+    from .experiments.diurnal import DIURNAL_POLICIES
+    p_auto = sub.add_parser(
+        "autoscale",
+        help="run the diurnal-day elasticity scenario under a scaling "
+             "policy (or compare policies) and report SLO attainment "
+             "vs instance-seconds",
+        epilog=EXIT_CONTRACT.format(
+            fail="--check was given and the acceptance criteria (or the "
+                 "single run's SLO attainment target) failed"),
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    p_auto.add_argument("--policy", default="compare",
+                        choices=("compare",) + DIURNAL_POLICIES,
+                        help="one policy, or 'compare' to run "
+                             "static-peak/reactive/predictive and "
+                             "evaluate the acceptance criteria")
+    p_auto.add_argument("--scale", default="smoke",
+                        choices=("smoke", "quick", "paper"))
+    p_auto.add_argument("--seed", type=int, default=7)
+    p_auto.add_argument("--slo", type=float, default=None,
+                        help="windowed-p99 SLO in seconds (default: the "
+                             "scenario's 1.5)")
+    p_auto.add_argument("--json", action="store_true",
+                        help="emit the full machine-readable report "
+                             "(byte-identical across same-seed runs)")
+    p_auto.add_argument("--output",
+                        help="save the JSON report here as well")
+    p_auto.add_argument("--check", action="store_true",
+                        help="exit 1 unless the criteria pass")
     return parser
 
 
@@ -427,6 +541,7 @@ def main(argv: Optional[list] = None) -> int:
         "trace": _cmd_trace,
         "bench": _cmd_bench,
         "chaos": _cmd_chaos,
+        "autoscale": _cmd_autoscale,
     }
     if args.command == "chaos" and args.seed is None:
         args.seed = [7]

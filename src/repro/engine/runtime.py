@@ -60,6 +60,24 @@ class JobConfig:
     #: occupancy shrink actual batches below this.
     max_batch_size: int = 64
 
+    #: Legal record planes / batch-size bounds (also enforced by
+    #: :class:`~..experiments.harness.ExperimentConfig` overrides).
+    RECORD_PLANES = ("batched", "single")
+    MAX_BATCH_SIZE_LIMIT = 4096
+
+    def __post_init__(self):
+        if self.record_plane not in self.RECORD_PLANES:
+            raise ValueError(
+                f"unknown record_plane: {self.record_plane!r} "
+                f"(expected one of: {', '.join(self.RECORD_PLANES)})")
+        if (not isinstance(self.max_batch_size, int)
+                or isinstance(self.max_batch_size, bool)
+                or not 1 <= self.max_batch_size <= self.MAX_BATCH_SIZE_LIMIT):
+            raise ValueError(
+                "max_batch_size must be an integer in "
+                f"[1, {self.MAX_BATCH_SIZE_LIMIT}], "
+                f"got {self.max_batch_size!r}")
+
 
 @dataclass
 class _InflightState:

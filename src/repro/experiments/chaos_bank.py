@@ -172,6 +172,104 @@ def _crash_mid_subscale(seed: int, job_config=None) -> ChaosSetup:
                       oracle={"agg": produced}, expectations=[expect])
 
 
+def _autoscale_crash_mid_subscale(seed: int) -> ChaosSetup:
+    """Closed-loop acceptance: the *autoscaler* initiates the subscale
+    (reacting to a load ramp), a phase-triggered crash lands while that
+    subscale is moving state, DRRS aborts → rolls back → retries under
+    the same done event, and the decision log must show the controller
+    deferring (never overlapping) while its rescale was in flight."""
+    from ..autoscale import (AutoscaleController,
+                             UtilizationThresholdPolicy)
+    from ..core.drrs import DRRSController
+
+    graph = JobGraph("chaos", num_key_groups=16)
+    graph.add_source("src", parallelism=1, service_time=5e-5)
+    graph.add_operator(OperatorSpec(
+        "agg",
+        logic_factory=lambda: KeyedReduceLogic(
+            lambda old, r: (old or 0) + r.count),
+        parallelism=2, service_time=2e-3, keyed=True,
+        initial_state_bytes_per_group=8e6))
+    graph.add_sink("sink")
+    graph.connect("src", "agg", Partitioning.HASH)
+    graph.connect("agg", "sink", Partitioning.FORWARD)
+    job = StreamJob(graph).build()
+    job.enable_telemetry()
+    produced: Dict[str, int] = {}
+
+    def gen():
+        src = job.sources()[0]
+        i = 0
+        while job.sim.now < 16.0:
+            # Ramp at t=4: 300/s → 1200/s saturates p=2 (service 2 ms)
+            # and the utilisation policy must scale out.
+            rate = 300.0 if job.sim.now < 4.0 else 1200.0
+            key = f"k{i % 24}"
+            src.offer(Record(key=key, event_time=job.sim.now, count=1))
+            produced[key] = produced.get(key, 0) + 1
+            if i % 20 == 0:
+                src.offer(Watermark(timestamp=job.sim.now))
+            i += 1
+            yield job.sim.timeout(1.0 / rate)
+
+    job.sim.spawn(gen(), name="chaos-driver")
+    checkpoints = CheckpointCoordinator(job, interval=0.75)
+    checkpoints.start()
+    recovery = RecoveryManager(job, restart_seconds=0.5,
+                               retain_checkpoints=100).install()
+    controller = DRRSController(job)
+    auto = AutoscaleController(
+        job, controller, "agg",
+        UtilizationThresholdPolicy(
+            high=0.5, low=0.2, target=0.35, min_parallelism=2,
+            max_parallelism=6, cooldown=6.0, hold_ticks=2,
+            min_samples=3),
+        interval=1.0, warmup=1.0)
+    auto.start()
+    injector = FaultInjector(job, recovery=recovery, seed=seed)
+    # Phase trigger: fires at the first state transfer of the
+    # controller-initiated subscale, whenever the policy decides.
+    injector.add(CrashInstance("agg", 1, phase="state-transfer"))
+
+    def expect(setup) -> List[str]:
+        problems: List[str] = []
+        if auto.rescales_completed < 1:
+            problems.append("autoscaler never completed a rescale")
+        if auto.rescales_failed:
+            problems.append(
+                f"{auto.rescales_failed} autoscaled rescale(s) failed "
+                "(the retry should have completed them)")
+        if not recovery.recoveries:
+            problems.append("crash caused no recovery")
+        problems += _expect_spans(job)
+        log = auto.decision_log()
+        if not any(entry["event"] == "defer" for entry in log):
+            problems.append(
+                "no decision was deferred while the crashed subscale "
+                "was in flight")
+        open_since = None
+        for entry in log:
+            if entry["event"] == "decide":
+                if open_since is not None:
+                    problems.append(
+                        f"decision at t={entry['t']} issued while the "
+                        f"rescale from t={open_since} was in flight")
+                open_since = entry["t"]
+            elif entry["event"] in ("complete", "failed"):
+                open_since = None
+        completed = [entry["target"] for entry in log
+                     if entry["event"] == "complete"]
+        if completed and len(job.instances("agg")) != completed[-1]:
+            problems.append(
+                f"agg has {len(job.instances('agg'))} instances, last "
+                f"completed rescale targeted {completed[-1]}")
+        return problems
+
+    return ChaosSetup(job=job, injector=injector, keyed_ops=["agg"],
+                      horizon=45.0, recovery=recovery,
+                      oracle={"agg": produced}, expectations=[expect])
+
+
 def _crash_during_transfer(seed: int) -> ChaosSetup:
     """Phase-triggered crash the instant the first key-group migration
     begins; recovery rolls the migration back, the retry completes it."""
@@ -300,6 +398,11 @@ CHAOS_SCENARIOS: Dict[str, ChaosScenario] = {
             "crash during a DRRS subscale; recover from a mid-scaling "
             "checkpoint and finish the rescale via retry (§IV-C "
             "acceptance)"),
+        ChaosScenario(
+            "autoscale-crash-mid-subscale", _autoscale_crash_mid_subscale,
+            "crash during a subscale the closed-loop autoscaler "
+            "initiated; the same done event survives abort → rollback "
+            "→ retry and decisions defer, never overlap"),
         ChaosScenario(
             "crash-during-transfer", _crash_during_transfer,
             "phase-triggered crash at the first state transfer"),

@@ -59,6 +59,23 @@ class ExperimentConfig:
     #: so figure runs stay bit-identical to the un-instrumented engine.
     telemetry: bool = False
 
+    def __post_init__(self):
+        if (self.record_plane is not None
+                and self.record_plane not in JobConfig.RECORD_PLANES):
+            raise ValueError(
+                f"unknown record_plane: {self.record_plane!r} "
+                f"(expected one of: {', '.join(JobConfig.RECORD_PLANES)} "
+                "— or None for the engine default)")
+        if self.max_batch_size is not None and (
+                not isinstance(self.max_batch_size, int)
+                or isinstance(self.max_batch_size, bool)
+                or not 1 <= self.max_batch_size
+                <= JobConfig.MAX_BATCH_SIZE_LIMIT):
+            raise ValueError(
+                "max_batch_size must be an integer in "
+                f"[1, {JobConfig.MAX_BATCH_SIZE_LIMIT}] or None, "
+                f"got {self.max_batch_size!r}")
+
 
 @dataclass
 class ExperimentResult:

@@ -445,6 +445,11 @@ class ScalingController:
         yield from self._wait_until_idle(src, key_group)
         if charge_extract and cost_model.extract_seconds_per_group > 0:
             yield self.sim.timeout(cost_model.extract_seconds_per_group)
+            # The snapshot is cut at the END of the serialization charge:
+            # a record that entered service during the charge must finish
+            # first, or its update would land in the extracted-away copy
+            # and be lost when the shipped state is installed downstream.
+            yield from self._wait_until_idle(src, key_group)
         group = src.state.group(key_group)
         if group is None:
             raise KeyError(

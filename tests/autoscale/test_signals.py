@@ -1,0 +1,110 @@
+"""ScalingSignals and EwmaWindow: sampling semantics and smoothing."""
+
+import pytest
+
+from repro.autoscale import EwmaWindow, ScalingSignals
+from tests.helpers import build_keyed_job, drive
+
+
+# -- EwmaWindow ---------------------------------------------------------------
+
+
+def test_ewma_seeds_with_first_sample():
+    w = EwmaWindow(size=4, alpha=0.5)
+    assert w.push(10.0) == 10.0
+    assert w.ewma == 10.0
+
+
+def test_ewma_moves_toward_new_samples():
+    w = EwmaWindow(size=4, alpha=0.5)
+    w.push(0.0)
+    assert w.push(10.0) == 5.0
+    assert w.push(10.0) == 7.5
+
+
+def test_window_rolls_and_aggregates():
+    w = EwmaWindow(size=3, alpha=0.4)
+    for v in (1.0, 2.0, 3.0, 4.0):
+        w.push(v)
+    assert w.samples == [2.0, 3.0, 4.0]
+    assert w.full
+    assert w.mean == pytest.approx(3.0)
+    assert w.latest == 4.0
+    assert w.count_above(2.5) == 2
+    assert w.count_below(2.5) == 1
+
+
+def test_window_validates_parameters():
+    with pytest.raises(ValueError):
+        EwmaWindow(size=0)
+    with pytest.raises(ValueError):
+        EwmaWindow(alpha=0.0)
+    with pytest.raises(ValueError):
+        EwmaWindow(alpha=1.5)
+
+
+# -- ScalingSignals -----------------------------------------------------------
+
+
+def test_unknown_operator_rejected():
+    job = build_keyed_job()
+    with pytest.raises(ValueError):
+        ScalingSignals(job, "nope")
+
+
+def test_first_sample_reports_zero_rates():
+    job = drive(build_keyed_job(), until=2.0)
+    signals = ScalingSignals(job, "agg")
+    job.run(until=1.0)
+    snap = signals.sample()
+    # No previous cursor: rates and busy fractions are zero by contract.
+    assert snap.busy_max == 0.0
+    assert snap.source_rate == 0.0
+    assert snap.parallelism == 2
+
+
+def test_sampling_reads_live_load():
+    job = drive(build_keyed_job(), until=5.0)
+    signals = ScalingSignals(job, "agg")
+    snaps = []
+
+    def sampler():
+        while job.sim.now < 4.0:
+            yield job.sim.timeout(0.5)
+            snaps.append(signals.sample())
+
+    job.sim.spawn(sampler(), name="sampler")
+    job.run(until=4.5)
+    warm = snaps[2:]
+    assert all(0.0 <= s.busy_max <= 1.0 for s in warm)
+    assert any(s.source_rate > 0 for s in warm)
+    assert all(s.ewma["source_rate"] >= 0 for s in warm)
+    # busy is keyed by stable instance name, sorted.
+    assert list(warm[-1].busy_by_instance) == sorted(
+        warm[-1].busy_by_instance)
+
+
+def test_history_limit_trims():
+    job = drive(build_keyed_job(), until=3.0)
+    signals = ScalingSignals(job, "agg", history_limit=5)
+
+    def sampler():
+        while job.sim.now < 2.5:
+            yield job.sim.timeout(0.1)
+            signals.sample()
+
+    job.sim.spawn(sampler(), name="sampler")
+    job.run(until=3.0)
+    assert len(signals.history) == 5
+
+
+def test_snapshot_to_dict_is_json_safe():
+    import json
+
+    job = drive(build_keyed_job(), until=2.0)
+    signals = ScalingSignals(job, "agg")
+    job.run(until=1.0)
+    doc = signals.sample().to_dict()
+    json.dumps(doc)
+    assert doc["parallelism"] == 2
+    assert "ewma" in doc

@@ -1,0 +1,81 @@
+"""Diurnal-day scenario: day curve, sizing, criteria, determinism."""
+
+import json
+
+import pytest
+
+from repro.experiments.diurnal import (DAY_POINTS, DiurnalConfig,
+                                       compare_policies, day_profile,
+                                       run_diurnal)
+
+
+# -- day curve ----------------------------------------------------------------
+
+
+def test_day_profile_hits_the_declared_plateaus():
+    profile = day_profile(DAY_POINTS, duration=100.0)
+    assert profile(0.0) == pytest.approx(0.35)       # night
+    assert profile(10.0) == pytest.approx(0.35)      # still night
+    assert profile(46.0) == pytest.approx(1.80)      # flash crowd
+    assert profile(78.0) == pytest.approx(1.55)      # evening peak
+    assert profile(100.0) == pytest.approx(0.40)     # wind-down
+    assert profile(1e9) == pytest.approx(0.40)       # clamps past the end
+
+
+def test_day_profile_interpolates_the_morning_ramp():
+    profile = day_profile(DAY_POINTS, duration=100.0)
+    mid = profile(26.0)  # halfway through the 0.20 -> 0.32 ramp
+    assert 0.35 < mid < 1.00
+    assert mid == pytest.approx((0.35 + 1.00) / 2, abs=1e-6)
+
+
+def test_config_rejects_unknown_scale():
+    with pytest.raises(ValueError):
+        DiurnalConfig(scale="galactic")
+
+
+def test_popularity_shifts_track_duration():
+    cfg = DiurnalConfig(scale="smoke")
+    shifts = cfg.popularity_shifts()
+    assert [t for t, _seed in shifts] == [
+        pytest.approx(0.44 * cfg.duration),
+        pytest.approx(0.70 * cfg.duration)]
+
+
+def test_run_diurnal_rejects_unknown_policy():
+    with pytest.raises(ValueError):
+        run_diurnal("clairvoyant")
+
+
+# -- the headline experiment (smoke scale, ~25 s) -----------------------------
+
+
+def test_smoke_compare_meets_roadmap_criteria():
+    report = compare_policies(DiurnalConfig(scale="smoke"))
+    criteria = report["criteria"]
+    assert criteria["reactive_holds_slo"], report
+    assert criteria["reactive_saves_30pct"], report
+    assert criteria["predictive_beats_reactive_on_ramps"], report
+    assert criteria["passed"]
+    # The savings really are instance-second savings against static peak.
+    static = report["policies"]["static-peak"]["instance_seconds"]
+    reactive = report["policies"]["reactive"]["instance_seconds"]
+    assert reactive < 0.7 * static
+    # The autoscaled day actually rescaled, and never failed a rescale.
+    assert report["policies"]["reactive"]["rescales"] >= 2
+    assert report["policies"]["reactive"]["rescales_failed"] == 0
+    assert report["policies"]["predictive"]["rescales_failed"] == 0
+
+
+def test_smoke_reactive_run_is_deterministic():
+    cfg = DiurnalConfig(scale="smoke")
+    r1 = run_diurnal("reactive", cfg)
+    r2 = run_diurnal("reactive", DiurnalConfig(scale="smoke"))
+    assert json.dumps(r1, sort_keys=True) == json.dumps(r2, sort_keys=True)
+    # The decision log is part of the contract: same seed, same decisions.
+    decides = [d for d in r1["decisions"] if d["event"] == "decide"]
+    assert decides, "reactive day produced no decisions"
+    kinds = {d["kind"] for d in decides}
+    assert "scale-out" in kinds
+    # Every decision carries an explainable reason for the log.
+    assert all(d["why"] for d in decides)

@@ -114,6 +114,36 @@ def test_trace_command(tmp_path, capsys):
     assert first["kind"] in ("span", "instant")
 
 
+@pytest.mark.parametrize("command", ["bench", "chaos", "autoscale"])
+def test_check_commands_document_exit_contract(command, capsys):
+    # The exit-status contract is part of each check-style command's
+    # --help (0 = pass, 1 = check failure, 2 = usage error).
+    with pytest.raises(SystemExit) as excinfo:
+        main([command, "--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert "exit status:" in out
+    assert "usage error" in out
+
+
+def test_autoscale_rejects_unknown_policy_as_usage_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["autoscale", "--policy", "clairvoyant"])
+    assert excinfo.value.code == 2
+
+
+def test_autoscale_single_policy_json_and_check(tmp_path, capsys):
+    target = tmp_path / "report.json"
+    import json
+    assert main(["autoscale", "--policy", "reactive", "--scale", "smoke",
+                 "--json", "--check", "--output", str(target)]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["policy"] == "reactive"
+    assert doc["attainment"] >= 0.9
+    assert doc["rescales"] >= 1
+    assert json.loads(target.read_text()) == doc
+
+
 def test_figure_output_file(tmp_path, capsys, monkeypatch):
     # Patch the fig02 runner with a stub so the test stays fast.
     import repro.cli as cli
