@@ -19,17 +19,19 @@ from repro.perf import (BENCH_SCALES, compare_bench_docs, format_delta_table,
                         run_e2e_bench, run_kernel_bench)
 from repro.perf.benches import BENCH_SCHEMA, write_bench_files
 
-KERNEL_BENCHES = ("timeout_storm", "callback_chain", "event_pingpong",
-                  "channel_throughput")
+KERNEL_BENCHES = ("timeout_storm", "timeout_storm_calendar",
+                  "callback_chain", "event_pingpong", "channel_throughput")
 
 
 def test_kernel_bench_smoke():
     doc = run_kernel_bench("smoke")
-    assert doc["schema"] == BENCH_SCHEMA == "repro-bench/2"
+    assert doc["schema"] == BENCH_SCHEMA == "repro-bench/3"
     assert doc["scale"] == "smoke"
     assert doc["stat"] == "best"
     assert doc["config"]["record_plane"] == "batched"
     assert doc["config"]["max_batch_size"] >= 2
+    assert doc["config"]["scheduler"] in ("heap", "calendar")
+    assert isinstance(doc["config"]["columnar_available"], bool)
     for name in KERNEL_BENCHES:
         result = doc["results"][name]
         assert result["wall_s"] > 0
@@ -40,11 +42,36 @@ def test_kernel_bench_smoke():
 def test_e2e_bench_smoke():
     doc = run_e2e_bench("smoke")
     results = doc["results"]
-    params = BENCH_SCALES["smoke"]
-    assert results["sim_seconds"] == params["e2e_until"]
+    (kind, until), = BENCH_SCALES["smoke"]["e2e"]
+    assert kind == "q7"
+    assert results["sim_seconds"] == until
     assert results["source_records"] > 0
     assert results["sink_records"] > 0
     assert results["records_per_sec"] > 0
+
+
+def test_paper_scale_declares_all_three_workloads():
+    scenarios = dict(BENCH_SCALES["paper"]["e2e"])
+    assert scenarios == {"q7": 600.0, "q8": 600.0, "twitch": 1000.0}
+
+
+def test_unknown_scale_rejected():
+    with pytest.raises(ValueError, match="unknown bench scale"):
+        run_kernel_bench("galactic")
+    with pytest.raises(ValueError, match="unknown bench scale"):
+        run_e2e_bench("galactic")
+    with pytest.raises(ValueError, match="unknown bench scale"):
+        write_bench_files(output_dir="/tmp", scale="galactic")
+
+
+def test_bad_best_of_rejected(tmp_path):
+    with pytest.raises(ValueError, match="best_of must be >= 1"):
+        write_bench_files(output_dir=str(tmp_path), best_of=0)
+
+
+def test_bad_stat_rejected():
+    with pytest.raises(ValueError, match="unknown stat"):
+        run_kernel_bench("smoke", best_of=1, stat="p99")
 
 
 def test_write_bench_files_embeds_baseline(tmp_path):
@@ -131,3 +158,21 @@ def test_compare_e2e_records_per_sec():
     rows, regressions = compare_bench_docs(current, base)
     assert len(regressions) == 1
     assert "e2e_q7.records_per_sec" in regressions[0]
+
+
+def test_compare_e2e_paper_multi_scenario():
+    """The nested paper-scale e2e shape compares per scenario."""
+    base = {"schema": BENCH_SCHEMA, "bench": "e2e", "scale": "paper",
+            "results": {
+                "q7": {"records_per_sec": 1000.0, "kernel_events": 7},
+                "q8": {"records_per_sec": 400.0, "kernel_events": 9},
+                "twitch": {"records_per_sec": 600.0, "kernel_events": 11},
+            }}
+    current = copy.deepcopy(base)
+    current["results"]["q8"]["records_per_sec"] = 200.0
+    current["results"]["twitch"]["kernel_events"] = 12
+    rows, regressions = compare_bench_docs(current, base)
+    assert len(regressions) == 1
+    assert "e2e_q8.records_per_sec" in regressions[0]
+    drift = [r for r in rows if r["metric"] == "kernel_events"]
+    assert [r["bench"] for r in drift] == ["e2e_twitch"]

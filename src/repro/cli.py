@@ -73,6 +73,17 @@ def _usage_error(message: str) -> SystemExit:
     return SystemExit(2)
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer (exit 2 otherwise)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _scenario(name: str):
     if name == "quick":
         return QUICK
@@ -213,14 +224,9 @@ def _cmd_bench(args) -> int:
     from .perf import compare_bench_docs, format_delta_table, \
         write_bench_files
 
-    written = write_bench_files(output_dir=args.output, scale=args.scale,
-                                which=args.only, best_of=args.best_of,
-                                stat=args.stat)
-    docs = {}
-    for name, path in written.items():
-        with open(path) as f:
-            docs[name] = json.load(f)
-
+    # Baselines are validated *before* any bench runs: a bad --compare
+    # argument must fail fast (exit 2), not after minutes of measurement.
+    suites = ("kernel", "e2e") if args.only is None else (args.only,)
     baselines = {}
     for path in args.compare or ():
         try:
@@ -230,11 +236,19 @@ def _cmd_bench(args) -> int:
             raise _usage_error(
                 f"cannot read --compare baseline {path}: {error}")
         baselines[doc.get("bench")] = doc
-    unmatched = set(baselines) - set(docs)
+    unmatched = set(baselines) - set(suites)
     if unmatched:
         raise _usage_error(
             f"--compare baseline(s) for {sorted(unmatched)} have no "
             "matching current bench (check --only)")
+
+    written = write_bench_files(output_dir=args.output, scale=args.scale,
+                                which=args.only, best_of=args.best_of,
+                                stat=args.stat)
+    docs = {}
+    for name, path in written.items():
+        with open(path) as f:
+            docs[name] = json.load(f)
 
     def _compare_all():
         rows, regs = [], {}
@@ -276,11 +290,17 @@ def _cmd_bench(args) -> int:
             print(f"[{name} bench written to {path}]")
             speedup = doc.get("speedup_vs_pre_pr")
             if name == "e2e":
-                rps = doc["results"].get("records_per_sec", 0.0)
-                line = f"  {rps:,.0f} records/s"
-                if speedup is not None:
-                    line += f"  ({speedup:.2f}x vs pre-PR)"
-                print(line)
+                results = doc["results"]
+                if "records_per_sec" in results:
+                    scenarios = {"q7": results}
+                else:
+                    scenarios = results
+                for scen, result in sorted(scenarios.items()):
+                    rps = result.get("records_per_sec", 0.0)
+                    line = f"  {scen}: {rps:,.0f} records/s"
+                    if speedup is not None and "records_per_sec" in results:
+                        line += f"  ({speedup:.2f}x vs pre-PR)"
+                    print(line)
             elif isinstance(speedup, dict):
                 for bench_name, ratio in sorted(speedup.items()):
                     print(f"  {bench_name}: {ratio:.2f}x vs pre-PR")
@@ -454,16 +474,19 @@ def build_parser() -> argparse.ArgumentParser:
                  "past --threshold that persists through every --retry"),
         formatter_class=argparse.RawDescriptionHelpFormatter)
     p_bench.add_argument("--scale", default="full",
-                         choices=("smoke", "full"))
+                         choices=("smoke", "full", "paper"),
+                         help="smoke: CI gate; full: recorded trajectory; "
+                              "paper: 600 s NEXMark Q7/Q8 + the 4M-event "
+                              "Twitch trace (nightly tier)")
     p_bench.add_argument("--output", default=".",
                          help="directory for the BENCH_*.json files")
     p_bench.add_argument("--only", choices=("kernel", "e2e"), default=None,
                          help="run just one suite")
     p_bench.add_argument("--json", action="store_true",
                          help="also print the bench documents as JSON")
-    p_bench.add_argument("--best-of", type=int, default=None,
-                         help="repetitions per bench (default: harness "
-                              "BEST_OF)")
+    p_bench.add_argument("--best-of", type=_positive_int, default=None,
+                         help="repetitions per bench, >= 1 (default: "
+                              "harness BEST_OF)")
     p_bench.add_argument("--stat", default="best",
                          choices=("best", "median"),
                          help="reduce the repetitions to the fastest run "

@@ -25,6 +25,7 @@ from typing import Callable, Deque, List, Optional, TYPE_CHECKING
 
 from ..simulation.kernel import Event, Simulator, _Callback
 from .cluster import LinkSpec
+from .columnar import cumulative_ship_times
 from .records import RecordBatch, StreamElement, Watermark
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -646,25 +647,46 @@ class Channel:
         sim = self.sim
         limit = min(self.credits, self.max_batch)
         records = [first]
-        s = sim._now + ser
-        ship_times = [s]
         total = first.size_bytes
-        while len(records) < limit and outbox:
-            nxt = outbox[0]
-            if not nxt.is_record:
-                break
-            nser = nxt.size_bytes / bandwidth
-            if nser <= 0:
-                break
-            outbox.popleft()
-            records.append(nxt)
-            s += nser
-            ship_times.append(s)
-            total += nxt.size_bytes
-        if len(records) == 1:
-            # The run evaporated (head re-checked ineligible): restore the
-            # per-element path for `first`.
-            return None
+        job = self._job
+        if job is not None and job.columnar_active:
+            # Columnar plane: pop the run first, then compute every member's
+            # cumulative serialize time with one np.add.accumulate — the
+            # same left-to-right float64 additions the scalar loop below
+            # performs, so the ship/delivery instants are bitwise equal.
+            sizes = [first.size_bytes]
+            while len(records) < limit and outbox:
+                nxt = outbox[0]
+                if not nxt.is_record:
+                    break
+                if nxt.size_bytes / bandwidth <= 0:
+                    break
+                outbox.popleft()
+                records.append(nxt)
+                sizes.append(nxt.size_bytes)
+                total += nxt.size_bytes
+            if len(records) == 1:
+                return None
+            ship_times = cumulative_ship_times(sizes, sim._now, bandwidth)
+        else:
+            s = sim._now + ser
+            ship_times = [s]
+            while len(records) < limit and outbox:
+                nxt = outbox[0]
+                if not nxt.is_record:
+                    break
+                nser = nxt.size_bytes / bandwidth
+                if nser <= 0:
+                    break
+                outbox.popleft()
+                records.append(nxt)
+                s += nser
+                ship_times.append(s)
+                total += nxt.size_bytes
+            if len(records) == 1:
+                # The run evaporated (head re-checked ineligible): restore
+                # the per-element path for `first`.
+                return None
         telemetry = self.telemetry
         if telemetry is not None:
             registry = telemetry.registry
@@ -708,10 +730,14 @@ class Channel:
         eventing whenever that stops being true before this fires).
         """
         if self._fuse_due != self.sim._now:
-            return  # downgraded to the split path, or a stale heap position
+            # Downgraded to the split path, or a stale heap position: a
+            # cancelled schedule, not a processed event.
+            self.sim.discount()
+            return
         self._fuse_due = None
         element, self._serializing = self._serializing, None
         if element is None:
+            self.sim.discount()
             return
         self._in_flight -= 1
         if self._serializing_epoch == self._epoch:
@@ -748,9 +774,13 @@ class Channel:
         """Serialize finished: put the element on the wire, keep draining."""
         sim = self.sim
         if sim._now != self._ship_due:
-            return  # superseded heap position (a batch unwind retargeted)
+            # Superseded heap position (a batch unwind retargeted the ship
+            # boundary): a cancelled schedule, not a processed event.
+            sim.discount()
+            return
         element, self._serializing = self._serializing, None
         if element is None:
+            sim.discount()
             return
         if element.__class__ is not RecordBatch:
             self._wire.append((element, self._serializing_epoch))

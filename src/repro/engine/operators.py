@@ -58,6 +58,17 @@ class OperatorLogic:
     #: the engine then falls back to per-record processing for this logic.
     batch_eligible: bool = False
 
+    #: Optional whole-batch application hook: a callable
+    #: ``on_record_batch(records, lo, hi, instance)`` applying members
+    #: ``records[lo:hi]`` in one call, or None (the default) to apply them
+    #: via :meth:`on_record_at` one by one.  Implementations MUST be
+    #: bit-identical to the member-by-member path — same state mutations in
+    #: the same float-accumulation order — and, like :attr:`batch_eligible`,
+    #: must emit nothing.  The instance still performs all per-member
+    #: accounting (busy time, counters); this hook only replaces the logic
+    #: application itself.
+    on_record_batch = None
+
     def open(self, instance: "OperatorInstance") -> None:
         """Called once before the first element."""
 
@@ -827,17 +838,34 @@ class OperatorInstance:
         prev = self._batch_start if i == 0 else ends[i - 1]
         busy = self.busy_seconds
         processed = self.records_processed
-        while i < j:
-            rec = records[i]
-            end = ends[i]
-            busy = busy + (end - prev)
-            count = rec.count
-            processed += count
-            if counter is not None:
-                counter.inc(count)
-            logic.on_record_at(rec, self, end)
-            prev = end
-            i += 1
+        batch_fn = logic.on_record_batch
+        if batch_fn is not None:
+            # Whole-batch application: the accounting loop stays per-member
+            # (``end - prev`` is the same float subtraction sequence), the
+            # logic applies the members in one call.
+            lo = i
+            while i < j:
+                end = ends[i]
+                busy = busy + (end - prev)
+                count = records[i].count
+                processed += count
+                if counter is not None:
+                    counter.inc(count)
+                prev = end
+                i += 1
+            batch_fn(records, lo, j, self)
+        else:
+            while i < j:
+                rec = records[i]
+                end = ends[i]
+                busy = busy + (end - prev)
+                count = rec.count
+                processed += count
+                if counter is not None:
+                    counter.inc(count)
+                logic.on_record_at(rec, self, end)
+                prev = end
+                i += 1
         self.busy_seconds = busy
         self.records_processed = processed
         self._batch_applied = j

@@ -53,16 +53,24 @@ class JobConfig:
     max_concurrent_transfers_per_host: int = 4
     #: Record plane: ``"batched"`` moves micro-batches end-to-end through
     #: the source→channel→operator hot loop (bit-identical semantics,
-    #: golden-trace enforced); ``"single"`` is the per-record reference
-    #: implementation.
+    #: golden-trace enforced); ``"columnar"`` is the batched plane plus
+    #: numpy-backed column views over each batch (vectorized window-pane
+    #: accumulation and batch formation — falls back to plain batched
+    #: behaviour when numpy is unavailable); ``"single"`` is the
+    #: per-record reference implementation.
     record_plane: str = "batched"
     #: Upper bound on records per micro-batch; credits and channel
     #: occupancy shrink actual batches below this.
     max_batch_size: int = 64
+    #: Kernel event scheduler: ``"heap"`` (binary heap) or ``"calendar"``
+    #: (calendar-queue / bucketed wheel — same dispatch order
+    #: bit-identically, faster at paper-scale timer populations).
+    scheduler: str = "heap"
 
-    #: Legal record planes / batch-size bounds (also enforced by
-    #: :class:`~..experiments.harness.ExperimentConfig` overrides).
-    RECORD_PLANES = ("batched", "single")
+    #: Legal record planes / schedulers / batch-size bounds (also enforced
+    #: by :class:`~..experiments.harness.ExperimentConfig` overrides).
+    RECORD_PLANES = ("batched", "single", "columnar")
+    SCHEDULERS = ("heap", "calendar")
     MAX_BATCH_SIZE_LIMIT = 4096
 
     def __post_init__(self):
@@ -70,6 +78,10 @@ class JobConfig:
             raise ValueError(
                 f"unknown record_plane: {self.record_plane!r} "
                 f"(expected one of: {', '.join(self.RECORD_PLANES)})")
+        if self.scheduler not in self.SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler: {self.scheduler!r} "
+                f"(expected one of: {', '.join(self.SCHEDULERS)})")
         if (not isinstance(self.max_batch_size, int)
                 or isinstance(self.max_batch_size, bool)
                 or not 1 <= self.max_batch_size <= self.MAX_BATCH_SIZE_LIMIT):
@@ -242,17 +254,25 @@ class StreamJob:
         graph.validate()
         self.graph = graph
         self.cluster = cluster or single_machine()
-        self.sim = sim or Simulator()
-        self.metrics = metrics or MetricsCollector()
         self.config = config or JobConfig()
-        if self.config.record_plane not in ("batched", "single"):
+        self.sim = sim or Simulator(scheduler=self.config.scheduler)
+        self.metrics = metrics or MetricsCollector()
+        if self.config.record_plane not in JobConfig.RECORD_PLANES:
             raise ValueError(
                 f"unknown record_plane: {self.config.record_plane!r} "
-                "(expected 'batched' or 'single')")
-        #: True while the micro-batched record plane is active.  Cleared
+                f"(expected one of: {', '.join(JobConfig.RECORD_PLANES)})")
+        #: True while the micro-batched record plane is active ("batched"
+        #: and "columnar" both ride the batch carriers).  Cleared
         #: (permanently) by :meth:`disable_batching` — fault injection and
         #: failure recovery need per-record visibility everywhere.
-        self._batching = self.config.record_plane == "batched"
+        self._batching = self.config.record_plane in ("batched", "columnar")
+        #: True when the columnar plane is selected *and* numpy is present:
+        #: channels vectorize batch-formation ship times, carriers expose
+        #: column views.  Without numpy the "columnar" plane degrades to
+        #: exactly the "batched" plane (same bits either way).
+        from .columnar import HAVE_NUMPY
+        self.columnar_active = (self.config.record_plane == "columnar"
+                                and HAVE_NUMPY)
         self._instances: Dict[str, List[OperatorInstance]] = {}
         #: Current (authoritative) key-group assignment per keyed operator.
         self.assignments: Dict[str, KeyGroupAssignment] = {}
@@ -335,6 +355,7 @@ class StreamJob:
         telemetry = Telemetry(self.sim, capacity=capacity)
         self.telemetry = telemetry
         self.sim.dispatch_probe = telemetry.on_kernel_event
+        self.sim.discount_probe = telemetry.on_kernel_discount
         for instance in self.all_instances():
             for channel in instance.router.all_channels():
                 channel.telemetry = telemetry
@@ -480,6 +501,7 @@ class StreamJob:
         if not self._batching:
             return
         self._batching = False
+        self.columnar_active = False
         for instance in self.all_instances():
             for channel in instance.router.all_channels():
                 channel.batching = False

@@ -23,6 +23,7 @@ independently.
 from __future__ import annotations
 
 import enum
+import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -42,6 +43,12 @@ class StateStatus(enum.Enum):
     INACTIVE = "inactive"
 
 
+#: Process-wide version stamp source for :attr:`KeyGroupState.version`.
+#: Global (not per-group) so a dropped-and-re-registered key-group can never
+#: reuse a version an observer memoised for the old incarnation.
+_versions = itertools.count()
+
+
 @dataclass
 class KeyGroupState:
     """All state of one key-group on one instance."""
@@ -53,10 +60,21 @@ class KeyGroupState:
     #: Number of sub-key-groups (Meces hierarchical organisation); the
     #: fraction of sub-groups locally present when partially fetched.
     sub_groups_present: Optional[set] = None
+    #: Bulk-mutation stamp: any code path that replaces or merges
+    #: ``entries`` wholesale (migration install, rollback, recovery merge)
+    #: must call :meth:`bump_version`.  Operator logics that cache derived
+    #: views of ``entries`` (e.g. the window operators' fire-floor memo)
+    #: validate against this stamp; the owning logic's *own* incremental
+    #: mutations maintain the cache in place and need no bump.
+    version: int = field(default_factory=lambda: next(_versions))
 
     @property
     def processable(self) -> bool:
         return self.status in (StateStatus.LOCAL, StateStatus.PENDING_OUT)
+
+    def bump_version(self) -> None:
+        """Invalidate observers' memoised views of :attr:`entries`."""
+        self.version = next(_versions)
 
 
 class KeyedStateBackend:
@@ -102,6 +120,7 @@ class KeyedStateBackend:
         group.size_bytes = size_bytes
         group.status = status
         group.sub_groups_present = sub_groups_present
+        group.bump_version()
         return group
 
     def groups(self) -> List[KeyGroupState]:

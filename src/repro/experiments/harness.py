@@ -53,6 +53,8 @@ class ExperimentConfig:
     #: batch-size cap).  Ignored when an explicit job_config is given.
     record_plane: Optional[str] = None
     max_batch_size: Optional[int] = None
+    #: Kernel scheduler override ("heap"/"calendar"); None = engine default.
+    scheduler: Optional[str] = None
     label: str = ""
     #: Opt-in structured tracing: when True the job's telemetry subsystem
     #: is enabled before warm-up and exposed on the result.  Off by default
@@ -75,6 +77,12 @@ class ExperimentConfig:
                 "max_batch_size must be an integer in "
                 f"[1, {JobConfig.MAX_BATCH_SIZE_LIMIT}] or None, "
                 f"got {self.max_batch_size!r}")
+        if (self.scheduler is not None
+                and self.scheduler not in JobConfig.SCHEDULERS):
+            raise ValueError(
+                f"unknown scheduler: {self.scheduler!r} "
+                f"(expected one of: {', '.join(JobConfig.SCHEDULERS)} "
+                "— or None for the engine default)")
 
 
 @dataclass
@@ -175,12 +183,15 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     workload = config.workload
     job_config = config.job_config
     if job_config is None and (config.record_plane is not None
-                               or config.max_batch_size is not None):
+                               or config.max_batch_size is not None
+                               or config.scheduler is not None):
         overrides = {}
         if config.record_plane is not None:
             overrides["record_plane"] = config.record_plane
         if config.max_batch_size is not None:
             overrides["max_batch_size"] = config.max_batch_size
+        if config.scheduler is not None:
+            overrides["scheduler"] = config.scheduler
         job_config = JobConfig(**overrides)
     job = workload.build(cluster=config.cluster, job_config=job_config)
     telemetry = job.enable_telemetry() if config.telemetry else None

@@ -23,21 +23,34 @@ from ..simulation.kernel import Simulator
 from ..simulation.primitives import Signal
 
 __all__ = ["BENCH_SCALES", "run_kernel_bench", "run_e2e_bench",
-           "write_bench_files", "compare_bench_docs", "format_delta_table"]
+           "bench_e2e_scenario", "write_bench_files", "compare_bench_docs",
+           "format_delta_table"]
 
 #: Written into every bench document.  /2 added ``record_plane`` /
 #: ``max_batch_size`` (the engine defaults the e2e scenario runs under)
-#: and the ``stat`` used to reduce the repetitions.
-BENCH_SCHEMA = "repro-bench/2"
+#: and the ``stat`` used to reduce the repetitions.  /3 added the kernel
+#: ``scheduler`` and ``columnar_available`` to ``config``, the
+#: calendar-queue scheduler microbench (``timeout_storm_calendar``), and
+#: the multi-scenario e2e results shape of the ``paper`` scale.
+BENCH_SCHEMA = "repro-bench/3"
 
-#: Named scales: ``smoke`` for CI, ``full`` for the recorded trajectory.
+#: Named scales: ``smoke`` for CI, ``full`` for the recorded trajectory,
+#: ``paper`` for the paper-scale floor tier (nightly / on-demand CI):
+#: 600 simulated seconds of NEXMark Q7 and Q8 plus the 4M-event
+#: (4000 tps x 1000 s) Twitch trace.
 BENCH_SCALES = {
     "smoke": {"timeout_procs": 50, "timeout_rounds": 200,
               "callback_chain": 20_000, "pingpong_rounds": 20_000,
-              "channel_elements": 20_000, "e2e_until": 8.0},
+              "channel_elements": 20_000,
+              "e2e": (("q7", 8.0),)},
     "full": {"timeout_procs": 100, "timeout_rounds": 1000,
              "callback_chain": 100_000, "pingpong_rounds": 100_000,
-             "channel_elements": 100_000, "e2e_until": 30.0},
+             "channel_elements": 100_000,
+             "e2e": (("q7", 30.0),)},
+    "paper": {"timeout_procs": 200, "timeout_rounds": 2000,
+              "callback_chain": 200_000, "pingpong_rounds": 200_000,
+              "channel_elements": 200_000,
+              "e2e": (("q7", 600.0), ("q8", 600.0), ("twitch", 1000.0))},
 }
 
 
@@ -60,9 +73,15 @@ def _timed(fn):
 # Kernel benches
 # ---------------------------------------------------------------------------
 
-def bench_timeout_storm(procs: int, rounds: int) -> Dict[str, float]:
-    """Many processes sleeping on timeouts: pure heap + resume throughput."""
-    sim = Simulator()
+def bench_timeout_storm(procs: int, rounds: int,
+                        scheduler: str = "heap") -> Dict[str, float]:
+    """Many processes sleeping on timeouts: pure queue + resume throughput.
+
+    Run under both event schedulers this doubles as the scheduler
+    microbench — the timer population here is exactly the regime the
+    calendar queue exists for.
+    """
+    sim = Simulator(scheduler=scheduler)
 
     def worker(delay):
         for _ in range(rounds):
@@ -170,15 +189,19 @@ def bench_channel_throughput(elements: int) -> Dict[str, float]:
 # End-to-end bench
 # ---------------------------------------------------------------------------
 
-def bench_e2e_q7(until: float) -> Dict[str, float]:
-    """NEXMark Q7 (quick scenario, no scaling): the figure-pipeline hot path.
+#: Scenario labels written into e2e result dicts, per workload kind.
+_E2E_LABELS = {"q7": "nexmark-q7", "q8": "nexmark-q8", "twitch": "twitch"}
+
+
+def bench_e2e_scenario(kind: str, until: float) -> Dict[str, float]:
+    """One end-to-end workload (quick scenario config, no scaling).
 
     ``records_per_sec`` counts *physical* source records (batch entities ×
     count) per wall-clock second — the number that caps every figure run.
     """
     from ..experiments.scenarios import QUICK, make_workload
 
-    workload = make_workload("q7", QUICK)
+    workload = make_workload(kind, QUICK)
     t0 = time.perf_counter()
     job = workload.build()
     build_s = time.perf_counter() - t0
@@ -187,7 +210,7 @@ def bench_e2e_q7(until: float) -> Dict[str, float]:
     sink = job.metrics.total_sink_input()
     events = job.sim.events_processed
     return {
-        "scenario": f"nexmark-q7/quick/until={until:g}",
+        "scenario": f"{_E2E_LABELS[kind]}/quick/until={until:g}",
         "sim_seconds": until,
         "source_records": source,
         "sink_records": sink,
@@ -198,6 +221,11 @@ def bench_e2e_q7(until: float) -> Dict[str, float]:
         "events_per_sec": events / run_s if run_s else 0.0,
         "sim_seconds_per_wall_second": until / run_s if run_s else 0.0,
     }
+
+
+def bench_e2e_q7(until: float) -> Dict[str, float]:
+    """NEXMark Q7 hot path (the historical single-scenario e2e bench)."""
+    return bench_e2e_scenario("q7", until)
 
 
 # ---------------------------------------------------------------------------
@@ -226,23 +254,39 @@ def _reduce_runs(fn, args, best_of: int, stat: str) -> Dict[str, float]:
     raise ValueError(f"unknown stat: {stat!r} (want 'best' or 'median')")
 
 
-def _plane_config() -> Dict[str, Any]:
-    """The record-plane settings the e2e scenario runs under (defaults)."""
+def _engine_config() -> Dict[str, Any]:
+    """The engine settings the e2e scenarios run under (defaults)."""
+    from ..engine.columnar import HAVE_NUMPY
     from ..engine.runtime import JobConfig
 
     config = JobConfig()
     return {"record_plane": config.record_plane,
-            "max_batch_size": config.max_batch_size}
+            "max_batch_size": config.max_batch_size,
+            "scheduler": config.scheduler,
+            "columnar_available": HAVE_NUMPY}
+
+
+def _check_scale(scale: str) -> Dict[str, Any]:
+    params = BENCH_SCALES.get(scale)
+    if params is None:
+        raise ValueError(
+            f"unknown bench scale: {scale!r} "
+            f"(expected one of: {', '.join(sorted(BENCH_SCALES))})")
+    return params
 
 
 def run_kernel_bench(scale: str = "full", best_of: int = BEST_OF,
                      stat: str = "best") -> Dict[str, Any]:
-    params = BENCH_SCALES[scale]
+    params = _check_scale(scale)
+    storm_args = (params["timeout_procs"], params["timeout_rounds"])
     results = {
-        "timeout_storm": _reduce_runs(bench_timeout_storm,
-                                      (params["timeout_procs"],
-                                       params["timeout_rounds"]),
+        "timeout_storm": _reduce_runs(bench_timeout_storm, storm_args,
                                       best_of, stat),
+        # Scheduler microbench: the identical timer storm under the
+        # calendar queue — the heap/calendar ratio at this scale is the
+        # number the `scheduler` config knob trades on.
+        "timeout_storm_calendar": _reduce_runs(
+            bench_timeout_storm, storm_args + ("calendar",), best_of, stat),
         "callback_chain": _reduce_runs(bench_callback_chain,
                                        (params["callback_chain"],),
                                        best_of, stat),
@@ -254,17 +298,27 @@ def run_kernel_bench(scale: str = "full", best_of: int = BEST_OF,
                                            best_of, stat),
     }
     return {"schema": BENCH_SCHEMA, "bench": "kernel", "scale": scale,
-            "best_of": best_of, "stat": stat, "config": _plane_config(),
+            "best_of": best_of, "stat": stat, "config": _engine_config(),
             "results": results}
 
 
 def run_e2e_bench(scale: str = "full", best_of: int = BEST_OF,
                   stat: str = "best") -> Dict[str, Any]:
-    params = BENCH_SCALES[scale]
+    params = _check_scale(scale)
+    scenarios = params["e2e"]
+    if len(scenarios) == 1:
+        # Single-scenario scales keep the flat /2 results shape so the
+        # recorded trajectory and committed baselines stay comparable.
+        kind, until = scenarios[0]
+        results: Dict[str, Any] = _reduce_runs(
+            bench_e2e_scenario, (kind, until), best_of, stat)
+    else:
+        results = {kind: _reduce_runs(bench_e2e_scenario, (kind, until),
+                                      best_of, stat)
+                   for kind, until in scenarios}
     return {"schema": BENCH_SCHEMA, "bench": "e2e", "scale": scale,
-            "best_of": best_of, "stat": stat, "config": _plane_config(),
-            "results": _reduce_runs(bench_e2e_q7, (params["e2e_until"],),
-                                    best_of, stat)}
+            "best_of": best_of, "stat": stat, "config": _engine_config(),
+            "results": results}
 
 
 def _attach_baseline(doc: Dict[str, Any]) -> None:
@@ -304,6 +358,9 @@ def write_bench_files(output_dir: str = ".",
 
     if best_of is None:
         best_of = BEST_OF
+    if best_of < 1:
+        raise ValueError(f"best_of must be >= 1, got {best_of}")
+    _check_scale(scale)
     os.makedirs(output_dir, exist_ok=True)
     written = {}
     runners = {"kernel": run_kernel_bench, "e2e": run_e2e_bench}
@@ -324,13 +381,26 @@ def write_bench_files(output_dir: str = ".",
 # Baseline comparison (the CI regression gate)
 # ---------------------------------------------------------------------------
 
+def _e2e_scenarios(doc: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """An e2e doc's results as {display name: result dict}.
+
+    Single-scenario docs (smoke/full, and every /2 doc) store one flat Q7
+    result; the paper scale stores one result per workload.
+    """
+    results = doc["results"]
+    if "records_per_sec" in results:
+        return {"e2e_q7": results}
+    return {f"e2e_{name}": result for name, result in results.items()}
+
+
 def _throughput_metrics(doc: Dict[str, Any]) -> Dict[Tuple[str, str], float]:
     """Flatten a bench doc to {(bench name, metric): value} throughputs."""
     metrics = {}
     if doc["bench"] == "e2e":
-        value = doc["results"].get("records_per_sec")
-        if value:
-            metrics[("e2e_q7", "records_per_sec")] = value
+        for name, result in _e2e_scenarios(doc).items():
+            value = result.get("records_per_sec")
+            if value:
+                metrics[(name, "records_per_sec")] = value
     else:
         for name, result in doc["results"].items():
             for key, value in result.items():
@@ -343,9 +413,10 @@ def _event_counts(doc: Dict[str, Any]) -> Dict[str, int]:
     """Deterministic kernel event counts recorded by a bench doc."""
     counts = {}
     if doc["bench"] == "e2e":
-        events = doc["results"].get("kernel_events")
-        if events is not None:
-            counts["e2e_q7"] = events
+        for name, result in _e2e_scenarios(doc).items():
+            events = result.get("kernel_events")
+            if events is not None:
+                counts[name] = events
     else:
         for name, result in doc["results"].items():
             if "kernel_events" in result:

@@ -470,6 +470,7 @@ class ScalingController:
         group.entries = {}
         group.size_bytes = 0.0
         group.status = StateStatus.MIGRATED_OUT
+        group.bump_version()
         # From this instant until installation at dst, the bytes live only
         # in the in-flight registry: checkpoints fold them into the source
         # snapshot (§IV-C) and an abort restores them from here.

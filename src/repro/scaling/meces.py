@@ -217,6 +217,7 @@ class MecesController(ScalingController):
                              if self.sub_of_key(k) == sub}
             for k in moved_entries:
                 del src_group.entries[k]
+            src_group.bump_version()
             src_group.size_bytes = max(0.0, src_group.size_bytes - share)
             present.discard(sub)
             if not present:
@@ -241,6 +242,7 @@ class MecesController(ScalingController):
             dst_group.entries.update(moved_entries)
             dst_group.size_bytes += share
             dst_group.sub_groups_present.add(sub)
+            dst_group.bump_version()
             if dst_group.status is not StateStatus.LOCAL:
                 dst_group.status = StateStatus.LOCAL
             self._sub_owner[(kg, sub)] = requester

@@ -240,6 +240,7 @@ class OTFSController(ScalingController):
             group.entries = {}
             group.size_bytes = 0.0
             group.status = StateStatus.MIGRATED_OUT
+            group.bump_version()
         src.wake.fire()
         link = self.job.link_between(src, instances[moves[0].dst_index])
         yield self.sim.timeout(cost_model.transfer_seconds(
@@ -253,6 +254,7 @@ class OTFSController(ScalingController):
             group.entries = entries
             group.size_bytes = size
             group.status = StateStatus.LOCAL
+            group.bump_version()
             self.metrics.note_migration_completed(move.key_group,
                                                   self.sim.now)
             dst.wake.fire()

@@ -68,6 +68,7 @@ class StopRestartController(ScalingController):
                                                  StateStatus.LOCAL)
             new_group.entries = entries
             new_group.size_bytes = size
+            new_group.bump_version()
             self.metrics.note_migration_completed(move.key_group,
                                                   self.sim.now)
         for sender, edge in job.senders_to(op_name):

@@ -91,6 +91,7 @@ class UnboundController(ScalingController):
         group.entries = {}
         group.size_bytes = 0.0
         group.status = StateStatus.MIGRATED_OUT
+        group.bump_version()
         link = self.job.link_between(src, dst)
         gate = self.job.transfer_gate(src.node.name)
         yield gate.acquire()
@@ -110,5 +111,6 @@ class UnboundController(ScalingController):
         dst_group.entries = merged
         dst_group.size_bytes += size
         dst_group.status = StateStatus.LOCAL
+        dst_group.bump_version()
         self.metrics.note_migration_completed(key_group, self.sim.now)
         dst.wake.fire()

@@ -1,0 +1,293 @@
+"""Calendar-queue (bucketed-wheel) event scheduler.
+
+Drop-in alternative to the binary heap in :mod:`repro.simulation.kernel`
+for the timer-dominated event populations of paper-scale runs: channel
+latencies, bare-delay service times and window triggers cluster tightly
+around ``now``, so a bucketed wheel gives O(1) amortized push/pop where a
+binary heap pays O(log n) sift costs per operation.
+
+Design (classic calendar queue, adapted for exact determinism):
+
+* Items are the kernel's ``(time, seq, entry)`` heap tuples.  ``seq`` is
+  the kernel's global monotonic counter draw, so ``(time, seq)`` is a
+  strict total order — the queue reproduces the binary heap's dispatch
+  order *bit-identically* (same ties broken the same way), which the
+  golden-trace suite enforces.
+* The wheel covers ``[base, base + nbuckets * width)``.  A push appends
+  to its bucket unsorted (O(1)); a bucket is sorted once, with timsort,
+  when the drain cursor first enters it.  Pushes that land in the bucket
+  currently being drained are insorted past the consume position, which
+  keeps the already-sorted remainder exact.
+* Items at or beyond the wheel horizon go to an *overflow lane* — the
+  fallback sorted lane for far-future entries.  When every bucket is
+  consumed the queue *rotates*: the overflow is sorted (cheap: timsort on
+  an almost-sorted list after the first rotation), the near prefix is
+  redistributed into a freshly sized wheel, and the far tail stays put.
+* Rotation is where the queue adapts: bucket count and width are resized
+  from the observed spacing of the next event cluster, targeting a small
+  constant number of items per bucket.
+* Bucket assignment uses one monotone float map (``(t - base) * invw``)
+  for every item, so two items can never be placed in order-violating
+  buckets: if ``t1 < t2`` then ``bucket(t1) <= bucket(t2)``.  Boundary
+  rounding is clamped toward the current bucket / last bucket, which by
+  the same monotonicity argument is always order-safe.
+* Cancelled (``_defunct``) entries are left in place and skipped by the
+  kernel on pop — identical lazy-cancellation contract as the heap.
+
+The queue never draws counters and never reorders equal-``(time, seq)``
+items (there are none); all determinism obligations live in the kernel.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Any, List, Optional, Tuple
+
+__all__ = ["CalendarQueue", "cq_push"]
+
+_INF = float("inf")
+
+#: Average items per bucket the rotation sizing aims for.
+_TARGET_PER_BUCKET = 4
+#: How many overflow items (at most) are sampled to estimate spacing.
+_SAMPLE_CAP = 4096
+#: Wheel size bounds (kept modest: clearing buckets on rotate is O(nb)).
+_MIN_BUCKETS = 64
+_MAX_BUCKETS = 8192
+#: Floor on bucket width so degenerate spacing cannot zero the horizon.
+_MIN_WIDTH = 1e-9
+
+
+def _pow2_clamp(n: int) -> int:
+    """Smallest power of two >= n, clamped into the wheel size bounds."""
+    if n <= _MIN_BUCKETS:
+        return _MIN_BUCKETS
+    if n >= _MAX_BUCKETS:
+        return _MAX_BUCKETS
+    return 1 << (n - 1).bit_length()
+
+
+class CalendarQueue:
+    """Bucketed-wheel priority queue over ``(time, seq, entry)`` tuples."""
+
+    __slots__ = ("_buckets", "_nbuckets", "_width", "_invw", "_base",
+                 "_limit", "_cur", "_pos", "_sorted", "_overflow",
+                 "_ovf_sorted", "_size", "rotations")
+
+    def __init__(self, width: float = 0.001, nbuckets: int = _MIN_BUCKETS):
+        if width <= 0.0:
+            raise ValueError(f"bucket width must be positive: {width}")
+        if nbuckets < 1:
+            raise ValueError(f"need at least one bucket: {nbuckets}")
+        self._buckets: List[List[Tuple[float, int, Any]]] = [
+            [] for _ in range(nbuckets)]
+        self._nbuckets = nbuckets
+        self._width = width
+        self._invw = 1.0 / width
+        self._base = 0.0
+        self._limit = nbuckets * width
+        self._cur = 0            # bucket the drain cursor is in
+        self._pos = 0            # consume position within the current bucket
+        self._sorted = False     # current bucket sorted?
+        self._overflow: List[Tuple[float, int, Any]] = []
+        self._ovf_sorted = True
+        self._size = 0
+        #: Rotation count (diagnostics; read by the scheduler microbench).
+        self.rotations = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- hot path ----------------------------------------------------------
+
+    def push(self, item: Tuple[float, int, Any]) -> None:
+        """Insert an item; O(1) except for same-bucket late insorts."""
+        self._size += 1
+        t = item[0]
+        if t >= self._limit:
+            self._overflow.append(item)
+            self._ovf_sorted = False
+            return
+        idx = int((t - self._base) * self._invw)
+        if idx >= self._nbuckets:
+            idx = self._nbuckets - 1
+        cur = self._cur
+        if idx <= cur:
+            # Either genuinely due in the bucket being drained, or boundary
+            # rounding mapped it a bucket low — both are order-safe in the
+            # current bucket (monotone map: everything in later buckets is
+            # strictly later).
+            b = self._buckets[cur]
+            if self._sorted:
+                insort(b, item, self._pos)
+            else:
+                b.append(item)
+            return
+        self._buckets[idx].append(item)
+
+    def _next_ready(self) -> List[Tuple[float, int, Any]]:
+        """Advance the cursor to the bucket holding the next item.
+
+        Assumes ``_size > 0``.  Returns that bucket, sorted, with ``_pos``
+        pointing at the minimum remaining item.
+        """
+        buckets = self._buckets
+        while True:
+            b = buckets[self._cur]
+            if self._pos < len(b):
+                if not self._sorted:
+                    b.sort()
+                    self._sorted = True
+                return b
+            if self._pos:
+                del b[:]
+                self._pos = 0
+            self._sorted = False
+            self._cur += 1
+            if self._cur >= self._nbuckets:
+                self._rotate()
+                buckets = self._buckets  # rotation may resize the wheel
+
+    def pop(self) -> Optional[Tuple[float, int, Any]]:
+        """Remove and return the minimum item, or None when empty."""
+        if not self._size:
+            return None
+        pos = self._pos
+        if self._sorted:
+            b = self._buckets[self._cur]
+            if pos < len(b):
+                self._pos = pos + 1
+                self._size -= 1
+                return b[pos]
+        b = self._next_ready()
+        pos = self._pos
+        self._pos = pos + 1
+        self._size -= 1
+        return b[pos]
+
+    def pop_at(self, when: float) -> Optional[Tuple[float, int, Any]]:
+        """Pop the minimum item if it is due exactly at ``when``, else None.
+
+        Fused peek+pop for the kernel's equal-time drain loop: one cursor
+        walk instead of two.
+        """
+        if not self._size:
+            return None
+        pos = self._pos
+        if self._sorted:
+            b = self._buckets[self._cur]
+            if pos < len(b):
+                item = b[pos]
+                if item[0] != when:
+                    return None
+                self._pos = pos + 1
+                self._size -= 1
+                return item
+        b = self._next_ready()
+        pos = self._pos
+        item = b[pos]
+        if item[0] != when:
+            return None
+        self._pos = pos + 1
+        self._size -= 1
+        return item
+
+    def pop_le(self, limit: float) -> Optional[Tuple[float, int, Any]]:
+        """Pop the minimum item if its time is <= ``limit``, else None."""
+        if not self._size:
+            return None
+        pos = self._pos
+        if self._sorted:
+            b = self._buckets[self._cur]
+            if pos < len(b):
+                item = b[pos]
+                if item[0] > limit:
+                    return None
+                self._pos = pos + 1
+                self._size -= 1
+                return item
+        b = self._next_ready()
+        pos = self._pos
+        item = b[pos]
+        if item[0] > limit:
+            return None
+        self._pos = pos + 1
+        self._size -= 1
+        return item
+
+    def peek_item(self) -> Optional[Tuple[float, int, Any]]:
+        """The minimum item without removing it, or None when empty."""
+        if not self._size:
+            return None
+        b = self._next_ready()
+        return b[self._pos]
+
+    def peek_time(self) -> float:
+        """Time of the minimum item, or ``inf`` when empty."""
+        if not self._size:
+            return _INF
+        b = self._next_ready()
+        return b[self._pos][0]
+
+    # -- rotation ----------------------------------------------------------
+
+    def _rotate(self) -> None:
+        """Re-seat the wheel over the next event cluster in the overflow.
+
+        Only called with ``_size > 0`` and every bucket consumed, so the
+        overflow holds all remaining items.
+        """
+        ovf = self._overflow
+        if not self._ovf_sorted:
+            ovf.sort()
+            self._ovf_sorted = True
+        n = len(ovf)
+        t0 = ovf[0][0]
+        # Size the next window from the spacing of the upcoming cluster.
+        k = n if n < _SAMPLE_CAP else _SAMPLE_CAP
+        span = ovf[k - 1][0] - t0
+        if span > 0.0 and k > 1:
+            width = span * _TARGET_PER_BUCKET / (k - 1)
+        else:
+            width = self._width
+        if width < _MIN_WIDTH:
+            width = _MIN_WIDTH
+        nb = _pow2_clamp(k // _TARGET_PER_BUCKET)
+        if nb != self._nbuckets:
+            self._buckets = [[] for _ in range(nb)]
+            self._nbuckets = nb
+        self._width = width
+        self._invw = 1.0 / width
+        self._base = t0
+        limit = t0 + nb * width
+        cut = bisect_left(ovf, (limit,))
+        if cut == 0:
+            # Degenerate horizon (float absorption at huge t0): take at
+            # least the t0-equal cluster so the drain always progresses.
+            cut = bisect_right(ovf, (t0, _INF))
+            limit = t0
+        self._limit = limit
+        buckets = self._buckets
+        invw = self._invw
+        base = self._base
+        last = self._nbuckets - 1
+        for item in ovf[:cut]:
+            idx = int((item[0] - base) * invw)
+            if idx > last:
+                idx = last
+            buckets[idx].append(item)
+        del ovf[:cut]
+        self._cur = 0
+        self._pos = 0
+        self._sorted = False
+        self.rotations += 1
+
+
+def cq_push(queue: CalendarQueue, item: Tuple[float, int, Any]) -> None:
+    """Push with the ``heapq.heappush(heap, item)`` calling convention.
+
+    The kernel stores one push function per simulator (``sim._push``) so
+    every schedule site is scheduler-agnostic; this is the calendar-queue
+    binding, mirroring ``heapq.heappush`` for the heap binding.
+    """
+    queue.push(item)

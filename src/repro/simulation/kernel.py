@@ -21,7 +21,7 @@ Example::
 
 Hot-path notes (see ``docs/performance.md``):
 
-* Heap entries are ``(time, counter, entry)`` where ``entry`` is either an
+* Queue entries are ``(time, counter, entry)`` where ``entry`` is either an
   :class:`Event` or a bare :class:`_Callback` — ``call_at``/``call_in`` skip
   the full Event machinery.  Both respond to ``_dispatch()``.
 * Tie-break order on equal times is the global ``counter`` draw order.  Any
@@ -29,15 +29,27 @@ Hot-path notes (see ``docs/performance.md``):
   retained events; removing a draw-less dispatch (e.g. skipping a defunct
   timeout) shifts nothing and is safe, while reordering draws is not.
 * Cancelled waits are marked ``_defunct`` and skipped on pop instead of
-  being sifted out of the heap (lazy cancellation).  Defunct dispatches do
-  not count toward ``events_processed``.
+  being sifted out of the queue (lazy cancellation).  Defunct dispatches do
+  not count toward ``events_processed``, and dispatch targets that detect a
+  superseded schedule position call :meth:`Simulator.discount` so stale
+  no-op pops do not inflate the count either.
+* The pending-event queue is pluggable (``Simulator(scheduler=...)``):
+  ``"heap"`` is the classic binary heap, ``"calendar"`` the
+  calendar-queue / bucketed-wheel scheduler in
+  :mod:`repro.simulation.calqueue`.  Both dispatch in exactly the same
+  ``(time, counter)`` order, so traces are bit-identical; every schedule
+  site pushes through ``sim._push(sim._heap, item)`` to stay
+  scheduler-agnostic.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import os
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from .calqueue import CalendarQueue, cq_push
 
 __all__ = [
     "Event",
@@ -45,7 +57,16 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "Interrupt",
+    "SCHEDULERS",
 ]
+
+#: Supported pending-event queue implementations.
+SCHEDULERS = ("heap", "calendar")
+
+
+def _default_scheduler() -> str:
+    """Process-wide default, overridable via ``REPRO_SCHEDULER``."""
+    return os.environ.get("REPRO_SCHEDULER", "heap")
 
 
 class SimulationError(RuntimeError):
@@ -154,7 +175,7 @@ class Event:
         self._value = value
         self._ok = True
         sim = self.sim
-        heapq.heappush(sim._heap, (sim._now, next(sim._counter), self))
+        sim._push(sim._heap, (sim._now, next(sim._counter), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -167,7 +188,7 @@ class Event:
         self._value = exception
         self._ok = False
         sim = self.sim
-        heapq.heappush(sim._heap, (sim._now, next(sim._counter), self))
+        sim._push(sim._heap, (sim._now, next(sim._counter), self))
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -176,7 +197,7 @@ class Event:
             # Already processed: run at the current time, preserving ordering
             # relative to other same-time activity via the event heap.
             sim = self.sim
-            heapq.heappush(
+            sim._push(
                 sim._heap,
                 (sim._now, next(sim._counter),
                  _Callback(lambda: callback(self))))
@@ -293,7 +314,7 @@ class Process(Event):
         start = Event(sim)
         start._triggered = True
         start.callbacks.append(self._resume)
-        heapq.heappush(sim._heap, (sim._now, next(sim._counter), start))
+        sim._push(sim._heap, (sim._now, next(sim._counter), start))
 
     @property
     def is_alive(self) -> bool:
@@ -336,7 +357,7 @@ class Process(Event):
         wake._value = Interrupt(cause)
         wake.callbacks.append(self._resume)
         sim = self.sim
-        heapq.heappush(sim._heap, (sim._now, next(sim._counter), wake))
+        sim._push(sim._heap, (sim._now, next(sim._counter), wake))
 
     def _resume(self, event: Event) -> None:
         if self._triggered:  # finished while the wake-up was in flight
@@ -368,7 +389,7 @@ class Process(Event):
                         self._timeout_fire)
                 self._waiting_on = _TIMEOUT_WAIT
                 sim = self.sim
-                heapq.heappush(
+                sim._push(
                     sim._heap,
                     (sim._now + target, next(sim._counter), entry))
                 return
@@ -386,7 +407,7 @@ class Process(Event):
                     entry = self._timeout_entry = _Callback(
                         self._timeout_fire)
                 self._waiting_on = _TIMEOUT_WAIT
-                heapq.heappush(
+                sim._push(
                     sim._heap, (when, next(sim._counter), entry))
                 return
             if not isinstance(target, Event):
@@ -410,23 +431,48 @@ class Process(Event):
         """Dispatch target of the reusable bare-delay heap entry."""
         if self._waiting_on is _TIMEOUT_WAIT:
             self._resume(self.sim.done)
+        else:
+            # Stale position of the reusable entry: the wait it was armed
+            # for was cancelled or replaced.  Nothing happened.
+            self.sim.discount()
 
 
 class Simulator:
-    """The event loop: owns simulated time and the pending-event heap."""
+    """The event loop: owns simulated time and the pending-event queue."""
 
     __slots__ = ("_now", "_heap", "_counter", "_event_count",
-                 "dispatch_probe", "_done")
+                 "dispatch_probe", "discount_probe", "_done", "_push",
+                 "scheduler")
 
-    def __init__(self):
+    def __init__(self, scheduler: Optional[str] = None):
+        if scheduler is None:
+            scheduler = _default_scheduler()
+        if scheduler not in SCHEDULERS:
+            raise SimulationError(
+                f"unknown scheduler {scheduler!r}; expected one of "
+                f"{SCHEDULERS}")
+        #: Which pending-event queue implementation this simulator runs on
+        #: ("heap" or "calendar").  Dispatch order is identical; only the
+        #: data structure (and its scaling behaviour) differs.
+        self.scheduler = scheduler
         self._now = 0.0
-        self._heap: List[Tuple[float, int, Any]] = []
+        if scheduler == "calendar":
+            self._heap: Any = CalendarQueue()
+            self._push: Callable[[Any, Tuple[float, int, Any]], None] = \
+                cq_push
+        else:
+            self._heap = []
+            self._push = heapq.heappush
         self._counter = itertools.count()
         self._event_count = 0
         #: Optional zero-arg telemetry hook invoked once per dispatched
         #: event.  None (the default) keeps dispatch on the fast path; the
         #: hook must not schedule simulation events.
         self.dispatch_probe: Optional[Callable[[], None]] = None
+        #: Telemetry partner of :attr:`dispatch_probe`: invoked whenever a
+        #: dispatch discounts itself (see :meth:`discount`) so probe-side
+        #: counters can stay in sync with ``events_processed``.
+        self.discount_probe: Optional[Callable[[], None]] = None
         # Shared pre-succeeded event for already-satisfied waits (see
         # the `done` property).
         done = Event(self)
@@ -442,8 +488,29 @@ class Simulator:
 
     @property
     def events_processed(self) -> int:
-        """Total number of kernel events processed so far (for diagnostics)."""
+        """Kernel events *dispatched* so far (for diagnostics and benches).
+
+        Counts only dispatches that did work: defunct (lazily-cancelled)
+        entries are skipped without counting, and dispatch targets that
+        detect a superseded schedule position (a reused entry whose due
+        time moved on) call :meth:`discount` to back their pop out of the
+        total.  Bench schema ``repro-bench/3`` records counts under this
+        definition; older baselines include the stale no-op pops.
+        """
         return self._event_count
+
+    def discount(self) -> None:
+        """Back the current dispatch out of ``events_processed``.
+
+        For dispatch targets that discover, once popped, that they are a
+        superseded or cancelled schedule position (e.g. a reusable channel
+        entry whose due time was re-targeted, or a stale bare-delay timer):
+        the pop happened but no simulation work did, so it must not count
+        as a processed event or inflate bench denominators.
+        """
+        self._event_count -= 1
+        if self.discount_probe is not None:
+            self.discount_probe()
 
     # -- event construction ------------------------------------------------
 
@@ -475,7 +542,7 @@ class Simulator:
         ev = Event(self)
         ev._triggered = True
         ev._value = value
-        heapq.heappush(self._heap, (self._now, next(self._counter), ev))
+        self._push(self._heap, (self._now, next(self._counter), ev))
         return ev
 
     def timeout(self, delay: float, value: Any = None) -> Event:
@@ -485,7 +552,7 @@ class Simulator:
         ev = Event(self)
         ev._scheduled = True
         ev._value = value
-        heapq.heappush(self._heap, (self._now + delay, next(self._counter), ev))
+        self._push(self._heap, (self._now + delay, next(self._counter), ev))
         return ev
 
     def any_of(self, events: Iterable[Event]) -> Event:
@@ -509,8 +576,8 @@ class Simulator:
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule at {when}; now is {self._now}")
-        heapq.heappush(self._heap,
-                       (when, next(self._counter), _Callback(callback)))
+        self._push(self._heap,
+                   (when, next(self._counter), _Callback(callback)))
 
     def call_in(self, delay: float, callback: Callable[[], None]) -> None:
         """Run ``callback()`` ``delay`` seconds from now."""
@@ -528,38 +595,55 @@ class Simulator:
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule at {when}; now is {self._now}")
-        heapq.heappush(self._heap, (when, next(self._counter), entry))
+        self._push(self._heap, (when, next(self._counter), entry))
 
     # -- scheduling internals ----------------------------------------------
 
     def _schedule_event(self, event: Event) -> None:
-        heapq.heappush(self._heap, (self._now, next(self._counter), event))
+        self._push(self._heap, (self._now, next(self._counter), event))
 
     # -- execution -----------------------------------------------------------
 
     def step(self) -> bool:
-        """Process one event.  Returns False when the heap is empty.
+        """Process one event.  Returns False when the queue is empty.
 
         Defunct (lazily-cancelled) entries are discarded without counting
         as a processed event.
         """
         heap = self._heap
-        while heap:
-            when, _seq, entry = heapq.heappop(heap)
+        if type(heap) is list:
+            while heap:
+                when, _seq, entry = heapq.heappop(heap)
+                if entry._defunct:
+                    continue
+                if when < self._now:
+                    raise SimulationError("event heap went backwards in time")
+                self._now = when
+                self._event_count += 1
+                if self.dispatch_probe is not None:
+                    self.dispatch_probe()
+                entry._dispatch()
+                return True
+            return False
+        while True:
+            item = heap.pop()
+            if item is None:
+                return False
+            entry = item[2]
             if entry._defunct:
                 continue
+            when = item[0]
             if when < self._now:
-                raise SimulationError("event heap went backwards in time")
+                raise SimulationError("event queue went backwards in time")
             self._now = when
             self._event_count += 1
             if self.dispatch_probe is not None:
                 self.dispatch_probe()
             entry._dispatch()
             return True
-        return False
 
     def run(self, until: Optional[float] = None) -> float:
-        """Run until the heap drains or simulated time passes ``until``.
+        """Run until the queue drains or simulated time passes ``until``.
 
         Returns the simulated time at which execution stopped.
 
@@ -569,6 +653,8 @@ class Simulator:
         re-checking ``until`` preserves tie-break order exactly.
         """
         heap = self._heap
+        if type(heap) is not list:
+            return self._run_calendar(until)
         pop = heapq.heappop
         count = 0
         try:
@@ -653,9 +739,89 @@ class Simulator:
         finally:
             self._event_count += count
 
+    def _run_calendar(self, until: Optional[float]) -> float:
+        """Calendar-queue run loop; same dispatch order as the heap loop.
+
+        ``pop``/``peek_time`` replace ``heappop``/``heap[0][0]``; the
+        equal-time inner drain and defunct skipping are structured exactly
+        as in :meth:`run`, so pop order — and therefore every trace — is
+        bit-identical between the two schedulers.
+        """
+        q = self._heap
+        q_pop = q.pop
+        q_pop_at = q.pop_at
+        q_pop_le = q.pop_le
+        count = 0
+        try:
+            if until is None:
+                while True:
+                    item = q_pop()
+                    if item is None:
+                        break
+                    entry = item[2]
+                    if entry._defunct:
+                        continue
+                    when = item[0]
+                    self._now = when
+                    count += 1
+                    if self.dispatch_probe is not None:
+                        self.dispatch_probe()
+                    entry._dispatch()
+                    # Batched same-time pops: drain the equal-time run.
+                    while True:
+                        item = q_pop_at(when)
+                        if item is None:
+                            break
+                        entry = item[2]
+                        if entry._defunct:
+                            continue
+                        count += 1
+                        if self.dispatch_probe is not None:
+                            self.dispatch_probe()
+                        entry._dispatch()
+                return self._now
+            while True:
+                item = q_pop_le(until)
+                if item is None:
+                    break
+                entry = item[2]
+                if entry._defunct:
+                    continue
+                when = item[0]
+                self._now = when
+                count += 1
+                if self.dispatch_probe is not None:
+                    self.dispatch_probe()
+                entry._dispatch()
+                while True:
+                    item = q_pop_at(when)
+                    if item is None:
+                        break
+                    entry = item[2]
+                    if entry._defunct:
+                        continue
+                    count += 1
+                    if self.dispatch_probe is not None:
+                        self.dispatch_probe()
+                    entry._dispatch()
+            if self._now < until:
+                self._now = until
+            return self._now
+        finally:
+            self._event_count += count
+
     def peek(self) -> float:
         """Time of the next pending event, or ``inf`` if none."""
         heap = self._heap
-        while heap and heap[0][2]._defunct:
-            heapq.heappop(heap)
-        return heap[0][0] if heap else float("inf")
+        if type(heap) is list:
+            while heap and heap[0][2]._defunct:
+                heapq.heappop(heap)
+            return heap[0][0] if heap else float("inf")
+        while True:
+            item = heap.peek_item()
+            if item is None:
+                return float("inf")
+            if item[2]._defunct:
+                heap.pop()
+                continue
+            return item[0]

@@ -185,6 +185,13 @@ class Telemetry:
     def on_kernel_event(self) -> None:
         self.registry.counter("sim.events_dispatched").inc()
 
+    def on_kernel_discount(self) -> None:
+        # A dispatch backed itself out (superseded schedule position, see
+        # Simulator.discount()): counters only go up, so the discounts get
+        # their own counter and ``events_processed`` equals
+        # ``sim.events_dispatched - sim.events_discounted``.
+        self.registry.counter("sim.events_discounted").inc()
+
     # -- opt-in periodic sampling (perturbs the event count; see module doc) --
 
     def start_sampler(self, job, interval: float) -> None:

@@ -22,6 +22,29 @@ def test_q7_drrs_rescale_planes_equivalent():
     assert batched["semantic"] == single["semantic"]
 
 
+def test_q7_drrs_rescale_columnar_equivalent():
+    columnar = capture_q7_trace(record_plane="columnar")
+    single = capture_q7_trace(record_plane="single")
+    assert columnar["info"]["record_plane"] == "columnar"
+    assert columnar["semantic"] == single["semantic"]
+
+
+def test_chaos_crash_mid_subscale_columnar_equivalent():
+    """Fault window + checkpoint barrier + recovery explode, columnar."""
+    batched = ChaosHarness(CHAOS_SCENARIOS["crash-mid-subscale"],
+                           seed=7).run()
+    columnar_scenario = ChaosScenario(
+        "crash-mid-subscale-columnar",
+        lambda seed: _crash_mid_subscale(
+            seed, job_config=JobConfig(record_plane="columnar")),
+        "crash-mid-subscale forced onto the columnar plane")
+    columnar = ChaosHarness(columnar_scenario, seed=7).run()
+    assert batched.passed and columnar.passed
+    b, c = batched.to_dict(), columnar.to_dict()
+    b.pop("scenario"), c.pop("scenario")
+    assert b == c
+
+
 def test_q7_noscale_planes_equivalent():
     batched = capture_q7_trace(system=None, record_plane="batched")
     single = capture_q7_trace(system=None, record_plane="single")

@@ -1,0 +1,165 @@
+"""Calendar-queue scheduler: dispatch order identical to the binary heap.
+
+The calendar queue is a pure wall-clock optimization — ``(time, seq)`` is a
+strict total order, so the wheel must pop the exact sequence the heap pops,
+including ties on time (broken by seq), boundary-bucket rounding, and
+rotations.  These tests drive both the queue directly (randomized
+push/pop interleavings) and the Simulator under both schedulers (same
+workload, same dispatch trace, same event counts).
+"""
+
+import heapq
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation import Simulator
+from repro.simulation.calqueue import CalendarQueue
+
+
+def _drain_both(items, pop_interleave=None, seed=None):
+    """Push items into heap + calendar, pop everything, compare sequences.
+
+    ``pop_interleave``: after every push, pop with this probability — the
+    interleaving exercises cursor/rotation states a pure push-all/pop-all
+    run never reaches.
+    """
+    heap = []
+    cal = CalendarQueue()
+    rng = random.Random(seed)
+    heap_out, cal_out = [], []
+    for item in items:
+        heapq.heappush(heap, item)
+        cal.push(item)
+        if pop_interleave and rng.random() < pop_interleave and heap:
+            heap_out.append(heapq.heappop(heap))
+            cal_out.append(cal.pop())
+    while heap:
+        heap_out.append(heapq.heappop(heap))
+        cal_out.append(cal.pop())
+    assert cal.pop() is None
+    assert len(cal) == 0
+    assert cal_out == heap_out
+    return heap_out
+
+
+@given(times=st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=1, max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_pop_order_matches_heap(times):
+    items = [(t, seq, object()) for seq, t in enumerate(times)]
+    _drain_both(items)
+
+
+@given(times=st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=1, max_size=200),
+    seed=st.integers(0, 2**16))
+@settings(max_examples=100, deadline=None)
+def test_interleaved_push_pop_matches_heap(times, seed):
+    items = [(t, seq, object()) for seq, t in enumerate(times)]
+    _drain_both(items, pop_interleave=0.4, seed=seed)
+
+
+@given(seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=50, deadline=None)
+def test_clustered_timer_population_matches_heap(seed):
+    """The paper-scale regime: ties, near-now clusters, far-future tails."""
+    rng = random.Random(seed)
+    items = []
+    now, seq = 0.0, 0
+    for _ in range(rng.randrange(50, 400)):
+        roll = rng.random()
+        if roll < 0.5:
+            t = now + rng.choice((0.0001, 0.0005, 0.001, 0.002))
+        elif roll < 0.8:
+            t = now  # exact tie with the cursor time
+        else:
+            t = now + rng.uniform(1.0, 500.0)  # overflow lane
+        items.append((t, seq, seq))
+        seq += 1
+        if rng.random() < 0.3:
+            now += rng.uniform(0.0, 0.01)
+    _drain_both(items, pop_interleave=0.3, seed=seed)
+
+
+def test_pop_at_and_pop_le_semantics():
+    cal = CalendarQueue()
+    for seq, t in enumerate((1.0, 1.0, 2.0, 5.0)):
+        cal.push((t, seq, None))
+    assert cal.pop_at(0.5) is None
+    assert cal.pop_at(1.0) == (1.0, 0, None)
+    assert cal.pop_at(1.0) == (1.0, 1, None)
+    assert cal.pop_at(1.0) is None          # next item is at 2.0
+    assert cal.pop_le(4.0) == (2.0, 2, None)
+    assert cal.pop_le(4.0) is None          # 5.0 > limit
+    assert cal.pop_le(5.0) == (5.0, 3, None)
+    assert cal.pop_le(99.0) is None         # empty
+    assert cal.peek_time() == float("inf")
+
+
+def test_far_future_rotation_and_resize():
+    """Items beyond the horizon rotate in; the wheel adapts its width."""
+    cal = CalendarQueue()
+    items = [(float(k) * 100.0, k, k) for k in range(2000)]
+    rng = random.Random(11)
+    shuffled = items[:]
+    rng.shuffle(shuffled)
+    for item in shuffled:
+        cal.push(item)
+    out = [cal.pop() for _ in range(len(items))]
+    assert out == sorted(items)
+    assert cal.rotations > 0
+
+
+def test_huge_base_degenerate_horizon():
+    """Float absorption at huge t: width can vanish; drain must progress."""
+    t0 = 1e18
+    items = [(t0, 0, "a"), (t0, 1, "b"), (t0 + 1e3, 2, "c")]
+    cal = CalendarQueue()
+    for item in items:
+        cal.push(item)
+    assert [cal.pop() for _ in range(3)] == items
+
+
+def _run_random_workload(scheduler, seed):
+    """A process + callback + cancellation mix; returns the dispatch trace."""
+    sim = Simulator(scheduler=scheduler)
+    rng = random.Random(seed)
+    trace = []
+
+    def proc(name, delays):
+        for d in delays:
+            yield sim.timeout(d)
+            trace.append((name, sim.now))
+
+    for p in range(8):
+        delays = [rng.choice((0.001, 0.001, 0.01, 0.25, 7.5))
+                  for _ in range(rng.randrange(5, 40))]
+        sim.spawn(proc(p, delays))
+    for c in range(30):
+        at = rng.uniform(0.0, 20.0)
+        sim.call_at(at, lambda c=c, at=at: trace.append(("cb", c, at)))
+    end = sim.run()
+    return trace, end, sim.events_processed
+
+
+def test_simulator_dispatch_trace_identical_across_schedulers():
+    for seed in (3, 17, 92):
+        heap_trace, heap_end, heap_events = _run_random_workload("heap", seed)
+        cal_trace, cal_end, cal_events = _run_random_workload("calendar",
+                                                              seed)
+        assert cal_trace == heap_trace
+        assert cal_end == heap_end
+        assert cal_events == heap_events
+
+
+def test_simulator_rejects_unknown_scheduler():
+    try:
+        Simulator(scheduler="wheel-of-fortune")
+    except Exception as error:
+        assert "unknown scheduler" in str(error)
+    else:  # pragma: no cover
+        raise AssertionError("expected an unknown-scheduler error")
