@@ -15,8 +15,9 @@ import copy
 
 import pytest
 
-from repro.perf import (BENCH_SCALES, compare_bench_docs, format_delta_table,
-                        run_e2e_bench, run_kernel_bench)
+from repro.perf import (BENCH_SCALES, compare_bench_docs,
+                        config_mismatch_warnings, format_config,
+                        format_delta_table, run_e2e_bench, run_kernel_bench)
 from repro.perf.benches import BENCH_SCHEMA, write_bench_files
 
 KERNEL_BENCHES = ("timeout_storm", "timeout_storm_calendar",
@@ -25,13 +26,15 @@ KERNEL_BENCHES = ("timeout_storm", "timeout_storm_calendar",
 
 def test_kernel_bench_smoke():
     doc = run_kernel_bench("smoke")
-    assert doc["schema"] == BENCH_SCHEMA == "repro-bench/3"
+    assert doc["schema"] == BENCH_SCHEMA == "repro-bench/4"
     assert doc["scale"] == "smoke"
     assert doc["stat"] == "best"
     assert doc["config"]["record_plane"] == "batched"
     assert doc["config"]["max_batch_size"] >= 2
     assert doc["config"]["scheduler"] in ("heap", "calendar")
     assert isinstance(doc["config"]["columnar_available"], bool)
+    assert doc["config"]["shards"] == 1
+    assert doc["config"]["inbox_capacity"] >= 1
     for name in KERNEL_BENCHES:
         result = doc["results"][name]
         assert result["wall_s"] > 0
@@ -176,3 +179,53 @@ def test_compare_e2e_paper_multi_scenario():
     assert "e2e_q8.records_per_sec" in regressions[0]
     drift = [r for r in rows if r["metric"] == "kernel_events"]
     assert [r["bench"] for r in drift] == ["e2e_twitch"]
+
+
+def test_config_mismatch_warnings_flag_divergent_configs():
+    """Comparing runs measured under different engine configs must warn
+    (scheduler, plane, batch size, shards, inbox capacity) — never diff
+    silently."""
+    current = {"config": {"scheduler": "calendar", "record_plane": "columnar",
+                          "max_batch_size": 64, "shards": 4,
+                          "inbox_capacity": 256}}
+    baseline = {"config": {"scheduler": "heap", "record_plane": "columnar",
+                           "max_batch_size": 64, "shards": 1,
+                           "inbox_capacity": 32}}
+    warnings = config_mismatch_warnings(current, baseline)
+    text = "\n".join(warnings)
+    assert "scheduler" in text
+    assert "shards" in text
+    assert "inbox_capacity" in text
+    assert "record_plane" not in text
+    assert "max_batch_size" not in text
+
+
+def test_config_mismatch_warnings_empty_when_identical():
+    doc = {"config": {"scheduler": "heap", "record_plane": "batched",
+                      "max_batch_size": 64, "shards": 1,
+                      "inbox_capacity": 32}}
+    assert config_mismatch_warnings(doc, copy.deepcopy(doc)) == []
+
+
+def test_config_mismatch_warnings_handle_old_schema_baselines():
+    """/2-era baselines never recorded shards/inbox_capacity: warn about
+    the absence rather than treating it as a match or crashing."""
+    current = {"config": {"scheduler": "heap", "record_plane": "batched",
+                          "max_batch_size": 64, "shards": 2,
+                          "inbox_capacity": 256}}
+    baseline = {"config": {"record_plane": "batched", "max_batch_size": 64}}
+    warnings = config_mismatch_warnings(current, baseline)
+    text = "\n".join(warnings)
+    assert "does not record" in text
+    assert "shards" in text and "scheduler" in text
+
+
+def test_format_config_renders_compare_keys():
+    doc = {"config": {"scheduler": "heap", "record_plane": "batched",
+                      "max_batch_size": 64, "shards": 1,
+                      "inbox_capacity": 32}}
+    line = format_config(doc)
+    for key in ("scheduler='heap'", "record_plane='batched'",
+                "max_batch_size=64", "shards=1", "inbox_capacity=32"):
+        assert key in line
+    assert format_config({}) == "(no config recorded)"

@@ -221,8 +221,13 @@ def _cmd_trace(args) -> int:
 def _cmd_bench(args) -> int:
     import os
 
-    from .perf import compare_bench_docs, format_delta_table, \
-        write_bench_files
+    from .perf import compare_bench_docs, config_mismatch_warnings, \
+        format_config, format_delta_table, write_bench_files
+
+    if args.shards is None:
+        # JobConfig's validation owns the REPRO_SHARDS env contract.
+        from .engine.runtime import JobConfig
+        args.shards = JobConfig().shards
 
     # Baselines are validated *before* any bench runs: a bad --compare
     # argument must fail fast (exit 2), not after minutes of measurement.
@@ -244,7 +249,7 @@ def _cmd_bench(args) -> int:
 
     written = write_bench_files(output_dir=args.output, scale=args.scale,
                                 which=args.only, best_of=args.best_of,
-                                stat=args.stat)
+                                stat=args.stat, shards=args.shards)
     docs = {}
     for name, path in written.items():
         with open(path) as f:
@@ -261,6 +266,23 @@ def _cmd_bench(args) -> int:
                     regs[name] = bad
         return rows, regs
 
+    # A baseline measured under a different scheduler / record plane /
+    # shard count is apples-to-oranges: print both configs and warn
+    # instead of comparing silently.
+    config_warnings = []
+    for name, doc in docs.items():
+        if name in baselines:
+            for warning in config_mismatch_warnings(doc, baselines[name]):
+                config_warnings.append(f"{name}: {warning}")
+    if config_warnings:
+        for name in sorted(set(docs) & set(baselines)):
+            print(f"[{name} current  config: {format_config(docs[name])}]",
+                  file=sys.stderr)
+            print(f"[{name} baseline config: "
+                  f"{format_config(baselines[name])}]", file=sys.stderr)
+        for line in config_warnings:
+            print(f"WARNING: {line}", file=sys.stderr)
+
     # A wall-clock dip must survive re-measurement to count: single-box
     # throughput noise routinely exceeds the threshold, so each regressed
     # suite is re-run up to --retry times and only a persistent drop fails.
@@ -273,7 +295,7 @@ def _cmd_bench(args) -> int:
         for suite in per_suite:
             rewritten = write_bench_files(
                 output_dir=args.output, scale=args.scale, which=suite,
-                best_of=args.best_of, stat=args.stat)
+                best_of=args.best_of, stat=args.stat, shards=args.shards)
             with open(rewritten[suite]) as f:
                 docs[suite] = json.load(f)
         all_rows, per_suite = _compare_all()
@@ -282,7 +304,8 @@ def _cmd_bench(args) -> int:
     if args.json:
         out = dict(docs)
         if baselines:
-            out["compare"] = {"rows": all_rows, "regressions": regressions}
+            out["compare"] = {"rows": all_rows, "regressions": regressions,
+                              "config_warnings": config_warnings}
         print(json.dumps(out, indent=1, sort_keys=True))
     else:
         for name, path in written.items():
@@ -325,6 +348,78 @@ def _cmd_bench(args) -> int:
             print(f"REGRESSION: {line}", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_shard_check(args) -> int:
+    import os
+
+    from .engine.runtime import JobConfig
+    from .experiments.scenarios import QUICK, make_workload
+    from .perf.benches import SHARD_INBOX_CAPACITY, SHARD_WEIGHTS
+    from .simulation.sharded import run_sharded, run_single_reference
+
+    config = JobConfig(shards=args.shards,
+                       inbox_capacity=SHARD_INBOX_CAPACITY)
+
+    def factory():
+        return make_workload(args.workload, QUICK)
+
+    single = run_single_reference(
+        factory, until=args.until, job_config=config,
+        collect_sinks=True, trace_watermarks=True)
+    sharded = run_sharded(
+        factory, until=args.until, shards=args.shards, job_config=config,
+        weights=SHARD_WEIGHTS.get(args.workload),
+        collect_sinks=True, trace_watermarks=True)
+    equal = single.semantic_view() == sharded.semantic_view()
+
+    def _sink_dump(result):
+        # Sorted sink record views + counts: deterministic bytes, so CI
+        # can diff the two files directly.
+        view = result.semantic_view()
+        return {"sink_events": view["sink_events"],
+                "sinks": {name: {"records_in": s["records_in"],
+                                 "collected": s["collected"]}
+                          for name, s in sorted(view["sinks"].items())}}
+
+    if args.output:
+        os.makedirs(args.output, exist_ok=True)
+        for label, result in (("single", single), ("sharded", sharded)):
+            path = os.path.join(args.output, f"sink-{label}.json")
+            with open(path, "w") as f:
+                json.dump(_sink_dump(result), f, indent=1, sort_keys=True)
+                f.write("\n")
+
+    report = {
+        "workload": args.workload,
+        "until": args.until,
+        "shards_requested": args.shards,
+        "workers": sharded.shards,
+        "plan": [list(s) for s in sharded.plan.shards]
+        if sharded.plan else [],
+        "replans": sharded.replans,
+        "forbidden_cuts": sharded.forbidden_cuts,
+        "backpressure_safe": sharded.backpressure_safe,
+        "backpressure_detail": sharded.backpressure_detail,
+        "results_equal": equal,
+        "sink_records_single": single.total_sink_input(),
+        "sink_records_sharded": sharded.total_sink_input(),
+    }
+    if args.json:
+        print(json.dumps(report, indent=1, sort_keys=True))
+    else:
+        plan = " | ".join("+".join(s) for s in report["plan"]) or "(single)"
+        print(f"[{args.workload} until={args.until:g} "
+              f"shards={sharded.shards}: {plan}]")
+        print(f"  results {'EQUAL' if equal else 'DIFFER'}, "
+              f"flow-control certification "
+              f"{'OK' if sharded.backpressure_safe else 'FAILED'}, "
+              f"sink records {single.total_sink_input()} vs "
+              f"{sharded.total_sink_input()}")
+        for line in sharded.backpressure_detail:
+            print(f"  {line}", file=sys.stderr)
+    ok = equal and sharded.backpressure_safe
+    return 0 if ok else 1
 
 
 def _cmd_autoscale(args) -> int:
@@ -502,6 +597,33 @@ def build_parser() -> argparse.ArgumentParser:
                          help="re-measure a regressed suite up to N times; "
                               "only a drop that persists through every "
                               "retry fails the gate (default 2)")
+    p_bench.add_argument("--shards", type=_positive_int, default=None,
+                         help="worker processes for the e2e scenarios "
+                              "(default: REPRO_SHARDS or 1); > 1 runs the "
+                              "sharded kernel plus its single-process "
+                              "reference and records plan, equivalence, "
+                              "and both speedups")
+
+    p_shard = sub.add_parser(
+        "shard-check",
+        help="run one workload sharded and single-process at the same "
+             "config and compare results exactly",
+        epilog=EXIT_CONTRACT.format(
+            fail="the sharded run's results differ from single-process "
+                 "or its flow-control certification fails"),
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    p_shard.add_argument("--workload", default="q7",
+                         choices=("q7", "q8", "twitch"))
+    p_shard.add_argument("--until", type=float, default=60.0,
+                         help="simulated seconds to run (default 60)")
+    p_shard.add_argument("--shards", type=_positive_int, default=2,
+                         help="worker processes (default 2)")
+    p_shard.add_argument("--output", default=None,
+                         help="directory to write sink-dump JSON files "
+                              "(sink-single.json / sink-sharded.json) for "
+                              "byte-for-byte diffing in CI")
+    p_shard.add_argument("--json", action="store_true",
+                         help="print the comparison report as JSON")
 
     from .experiments.chaos_bank import CHAOS_SCENARIOS
     p_chaos = sub.add_parser(
@@ -563,6 +685,7 @@ def main(argv: Optional[list] = None) -> int:
         "workload": _cmd_workload,
         "trace": _cmd_trace,
         "bench": _cmd_bench,
+        "shard-check": _cmd_shard_check,
         "chaos": _cmd_chaos,
         "autoscale": _cmd_autoscale,
     }

@@ -19,7 +19,8 @@ from .records import LatencyMarker, Record, StreamElement
 if TYPE_CHECKING:  # pragma: no cover
     from .operators import OperatorInstance
 
-__all__ = ["Partitioning", "OutputEdge", "OutputRouter"]
+__all__ = ["Partitioning", "OutputEdge", "OutputRouter", "ShardPlan",
+           "partition_graph", "topological_order"]
 
 
 class Partitioning(enum.Enum):
@@ -218,3 +219,147 @@ class OutputRouter:
 
     def all_channels(self) -> List[Channel]:
         return [ch for edge in self.edges for ch in edge.channels]
+
+
+# -- graph partitioning for the sharded kernel ---------------------------------
+
+class ShardPlan:
+    """A contiguous-in-topological-order partition of a job graph.
+
+    Produced by :func:`partition_graph` and consumed by
+    :class:`repro.simulation.sharded.ShardedSimulator`.  Each shard is a
+    list of operator names; every edge between two shards (a *cut edge*)
+    must have strictly positive latency — that latency is the conservative
+    lookahead that lets the downstream shard run ahead of the upstream
+    shard's grant.
+    """
+
+    def __init__(self, shards, cut_edges, lookahead, weights):
+        #: Operator names per shard, in topological order.
+        self.shards: List[List[str]] = shards
+        #: ``op name -> shard index``.
+        self.shard_of: Dict[str, int] = {
+            name: i for i, ops in enumerate(shards) for name in ops}
+        #: Names of edges that cross a shard boundary.
+        self.cut_edges: List[str] = cut_edges
+        #: Minimum latency over the cut edges (the binding lookahead).
+        self.lookahead: float = lookahead
+        #: The per-operator weights the balance was computed from.
+        self.weights: Dict[str, float] = weights
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def describe(self) -> str:
+        parts = []
+        for i, ops in enumerate(self.shards):
+            w = sum(self.weights.get(op, 0.0) for op in ops)
+            parts.append(f"shard {i}: {'+'.join(ops)} (w={w:g})")
+        return "; ".join(parts)
+
+
+def topological_order(graph) -> List[str]:
+    """Deterministic topological order with all sources first.
+
+    Kahn's algorithm over the graph's insertion order, seeding the ready
+    queue with source operators ahead of other in-degree-zero operators —
+    so a contiguous prefix partition always keeps every source (and
+    therefore every workload generator) in shard 0.
+    """
+    indegree = {name: len(graph.in_edges(name))
+                for name in graph.operators}
+    ready = [name for name, spec in graph.operators.items()
+             if indegree[name] == 0 and spec.is_source]
+    ready += [name for name, spec in graph.operators.items()
+              if indegree[name] == 0 and not spec.is_source]
+    order = []
+    while ready:
+        name = ready.pop(0)
+        order.append(name)
+        for edge in graph.out_edges(name):
+            indegree[edge.dst] -= 1
+            if indegree[edge.dst] == 0:
+                ready.append(edge.dst)
+    if len(order) != len(graph.operators):
+        raise ValueError("graph has a cycle; cannot topologically order")
+    return order
+
+
+def partition_graph(graph, num_shards: int, edge_latency,
+                    weights: Optional[Dict[str, float]] = None) -> ShardPlan:
+    """Cut the job graph into ``num_shards`` contiguous topological segments.
+
+    ``edge_latency`` maps an :class:`~repro.engine.graph.EdgeSpec` to the
+    *minimum* latency any of its physical channels can have; a boundary is
+    legal only where every crossing edge has strictly positive latency
+    (zero-latency edges admit no conservative lookahead).  ``weights`` maps
+    operator names to relative host-cost weights — per-operator event
+    counts from a telemetry probe when available, a uniform default
+    otherwise — and the partition minimizes the maximum per-shard weight
+    (classic contiguous min-max DP).  Fewer legal boundaries than requested
+    shards clamps the shard count rather than failing.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    order = topological_order(graph)
+    n = len(order)
+    pos = {name: i for i, name in enumerate(order)}
+    if weights is None:
+        weights = {name: 1.0 for name in order}
+    w = [max(float(weights.get(name, 1.0)), 1e-9) for name in order]
+    prefix = [0.0]
+    for x in w:
+        prefix.append(prefix[-1] + x)
+
+    # A boundary before position p is legal iff every edge spanning it has
+    # positive latency, and p is past the source prefix (all sources and
+    # their generators stay together in shard 0).
+    num_source_prefix = 0
+    for name in order:
+        if graph.operators[name].is_source:
+            num_source_prefix += 1
+        else:
+            break
+    legal = [False] * (n + 1)
+    for p in range(max(1, num_source_prefix), n):
+        crossing = [e for e in graph.edges if pos[e.src] < p <= pos[e.dst]]
+        legal[p] = all(edge_latency(e) > 0.0 for e in crossing)
+
+    k = min(num_shards, 1 + sum(legal))
+    # f[j][p]: minimal max-segment-weight splitting order[:p] into j segments.
+    INF = float("inf")
+    f = [[INF] * (n + 1) for _ in range(k + 1)]
+    back = [[0] * (n + 1) for _ in range(k + 1)]
+    f[0][0] = 0.0
+    for j in range(1, k + 1):
+        for p in range(1, n + 1):
+            for q in range(0, p):
+                if f[j - 1][q] == INF:
+                    continue
+                if q > 0 and not legal[q]:
+                    continue
+                cost = max(f[j - 1][q], prefix[p] - prefix[q])
+                if cost < f[j][p]:
+                    f[j][p] = cost
+                    back[j][p] = q
+    # Reconstruct the k-way split of the full order.
+    bounds = []
+    p = n
+    for j in range(k, 0, -1):
+        bounds.append(p)
+        p = back[j][p]
+    bounds.append(0)
+    bounds.reverse()
+    shards = [order[bounds[i]:bounds[i + 1]] for i in range(k)]
+    shards = [s for s in shards if s]
+    plan_shard_of = {name: i for i, ops in enumerate(shards) for name in ops}
+    cut_edges, lookahead = [], float("inf")
+    for e in graph.edges:
+        if plan_shard_of[e.src] != plan_shard_of[e.dst]:
+            cut_edges.append(e.name)
+            lookahead = min(lookahead, edge_latency(e))
+    if not cut_edges:
+        lookahead = 0.0
+    return ShardPlan(shards, cut_edges, lookahead,
+                     {name: w[pos[name]] for name in order})

@@ -10,6 +10,7 @@
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
@@ -66,12 +67,20 @@ class JobConfig:
     #: (calendar-queue / bucketed wheel — same dispatch order
     #: bit-identically, faster at paper-scale timer populations).
     scheduler: str = "heap"
+    #: Worker processes for the sharded multi-process kernel
+    #: (:mod:`repro.simulation.sharded`).  ``1`` (the default) runs the
+    #: ordinary single-process kernel; ``None`` reads ``REPRO_SHARDS``
+    #: (defaulting to 1).  Values > 1 only take effect on plain
+    #: run-to-completion workloads — controllers / telemetry / fault
+    #: injection degrade to single-process execution.
+    shards: Optional[int] = None
 
     #: Legal record planes / schedulers / batch-size bounds (also enforced
     #: by :class:`~..experiments.harness.ExperimentConfig` overrides).
     RECORD_PLANES = ("batched", "single", "columnar")
     SCHEDULERS = ("heap", "calendar")
     MAX_BATCH_SIZE_LIMIT = 4096
+    MAX_SHARDS = 64
 
     def __post_init__(self):
         if self.record_plane not in self.RECORD_PLANES:
@@ -89,6 +98,19 @@ class JobConfig:
                 "max_batch_size must be an integer in "
                 f"[1, {self.MAX_BATCH_SIZE_LIMIT}], "
                 f"got {self.max_batch_size!r}")
+        if self.shards is None:
+            raw = os.environ.get("REPRO_SHARDS", "1")
+            try:
+                self.shards = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_SHARDS must be an integer, got {raw!r}") from None
+        if (not isinstance(self.shards, int)
+                or isinstance(self.shards, bool)
+                or not 1 <= self.shards <= self.MAX_SHARDS):
+            raise ValueError(
+                f"shards must be an integer in [1, {self.MAX_SHARDS}], "
+                f"got {self.shards!r}")
 
 
 @dataclass

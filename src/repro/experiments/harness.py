@@ -60,6 +60,14 @@ class ExperimentConfig:
     #: is enabled before warm-up and exposed on the result.  Off by default
     #: so figure runs stay bit-identical to the un-instrumented engine.
     telemetry: bool = False
+    #: Worker processes for the run.  None = the engine default
+    #: (``REPRO_SHARDS`` or 1).  Sharding only applies to plain runs —
+    #: any run with a scaling controller, telemetry, or a custom cluster
+    #: falls back to single-process so rescale/chaos semantics are
+    #: untouched (same pattern as the batched plane's per-record
+    #: fallback).  The fallback is silent by design: the result is
+    #: identical either way, only wall-clock differs.
+    shards: Optional[int] = None
 
     def __post_init__(self):
         if (self.record_plane is not None
@@ -83,6 +91,13 @@ class ExperimentConfig:
                 f"unknown scheduler: {self.scheduler!r} "
                 f"(expected one of: {', '.join(JobConfig.SCHEDULERS)} "
                 "— or None for the engine default)")
+        if self.shards is not None and (
+                not isinstance(self.shards, int)
+                or isinstance(self.shards, bool)
+                or not 1 <= self.shards <= JobConfig.MAX_SHARDS):
+            raise ValueError(
+                f"shards must be an integer in [1, {JobConfig.MAX_SHARDS}] "
+                f"or None, got {self.shards!r}")
 
 
 @dataclass
@@ -178,6 +193,68 @@ def detect_scaling_period(latency_series: List[Tuple[float, float]],
     return None
 
 
+def _run_experiment_sharded(config: ExperimentConfig, job_config,
+                            shards: int) -> ExperimentResult:
+    """Plain (no-controller) run on the sharded kernel.
+
+    The merged per-shard view is loaded into a real
+    :class:`~repro.engine.metrics.MetricsCollector` so every downstream
+    statistic (latency stats, throughput buckets) uses the exact same
+    code path as a single-process run.  Results are identical by the
+    shard-vs-single equivalence contract; only wall-clock differs.
+    """
+    import copy
+
+    from ..engine.metrics import MetricsCollector
+    from ..simulation.sharded import run_sharded
+
+    workload = config.workload
+    end_at = config.warmup + config.post_duration
+    result = run_sharded(
+        # Each call (probe + one per worker) builds from a pristine copy
+        # so a Workload whose build mutates internal state stays
+        # deterministic across processes.
+        lambda: copy.deepcopy(workload),
+        until=end_at, shards=shards, job_config=job_config)
+    if not result.backpressure_safe:
+        # The credit ledger could not certify the run even after
+        # replanning — results may differ from single-process, so the
+        # figure falls back to the reference kernel.
+        import dataclasses as _dc
+        return run_experiment(_dc.replace(config, shards=1))
+
+    metrics = MetricsCollector()
+    view = result.semantic_view()
+    metrics.latency_samples = list(view["latency_samples"])
+    metrics._source_events = list(view["source_events"])
+    metrics._sink_events = list(view["sink_events"])
+    metrics.custom = {k: list(v) for k, v in view["custom"].items()}
+
+    scale_at = config.warmup
+    latency = metrics.latency_series()
+    throughput = metrics.throughput_series(
+        window=config.measure_window, start=0.0, end=end_at)
+    pre = metrics.latency_stats(
+        start=scale_at - config.baseline_window, end=scale_at)
+    during = metrics.latency_stats(start=scale_at, end=end_at)
+    return ExperimentResult(
+        label=config.label or workload.name,
+        controller_name="no-scale",
+        scale_at=scale_at,
+        end_at=end_at,
+        latency_series=latency,
+        throughput_series=throughput,
+        pre_latency=pre,
+        during_latency=during,
+        scaling_metrics=None,
+        scaling_period=None,
+        source_records=metrics.total_source_output(),
+        sink_records=metrics.total_sink_input(),
+        job=None,
+        telemetry=None,
+    )
+
+
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     """Execute the three-phase protocol and collect the figure inputs."""
     workload = config.workload
@@ -193,6 +270,18 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         if config.scheduler is not None:
             overrides["scheduler"] = config.scheduler
         job_config = JobConfig(**overrides)
+
+    effective_shards = config.shards
+    if effective_shards is None:
+        effective_shards = (job_config.shards if job_config is not None
+                            else JobConfig().shards)
+    if (effective_shards > 1 and config.controller_factory is None
+            and not config.telemetry and config.cluster is None):
+        from ..simulation.sharded import supports_sharding
+        if supports_sharding(job_config):
+            return _run_experiment_sharded(config, job_config,
+                                           effective_shards)
+
     job = workload.build(cluster=config.cluster, job_config=job_config)
     telemetry = job.enable_telemetry() if config.telemetry else None
     job.run(until=config.warmup)

@@ -7,8 +7,12 @@ this same harness, see :mod:`repro.perf.baseline`) so regressions and
 speedups are visible in one file.
 """
 
-from .benches import (BENCH_SCALES, compare_bench_docs, format_delta_table,
-                      run_e2e_bench, run_kernel_bench, write_bench_files)
+from .benches import (BENCH_SCALES, compare_bench_docs,
+                      config_mismatch_warnings, format_config,
+                      format_delta_table, run_e2e_bench, run_kernel_bench,
+                      write_bench_files)
 
 __all__ = ["BENCH_SCALES", "run_kernel_bench", "run_e2e_bench",
-           "write_bench_files", "compare_bench_docs", "format_delta_table"]
+           "write_bench_files", "compare_bench_docs",
+           "config_mismatch_warnings", "format_config",
+           "format_delta_table"]

@@ -24,6 +24,7 @@ from ..simulation.primitives import Signal
 
 __all__ = ["BENCH_SCALES", "run_kernel_bench", "run_e2e_bench",
            "bench_e2e_scenario", "write_bench_files", "compare_bench_docs",
+           "config_mismatch_warnings", "format_config",
            "format_delta_table"]
 
 #: Written into every bench document.  /2 added ``record_plane`` /
@@ -31,8 +32,33 @@ __all__ = ["BENCH_SCALES", "run_kernel_bench", "run_e2e_bench",
 #: and the ``stat`` used to reduce the repetitions.  /3 added the kernel
 #: ``scheduler`` and ``columnar_available`` to ``config``, the
 #: calendar-queue scheduler microbench (``timeout_storm_calendar``), and
-#: the multi-scenario e2e results shape of the ``paper`` scale.
-BENCH_SCHEMA = "repro-bench/3"
+#: the multi-scenario e2e results shape of the ``paper`` scale.  /4 added
+#: ``shards`` / ``workers`` / ``inbox_capacity`` to ``config`` and the
+#: sharded e2e result shape (``sharded`` sub-document per scenario when
+#: the run uses more than one worker process).
+BENCH_SCHEMA = "repro-bench/4"
+
+#: Flow-control window used for multi-shard e2e runs (both the sharded
+#: run and its single-process reference — the comparison is always
+#: same-config).  The engine default (32) is smaller than
+#: ``max_batch_size`` (64), so under paper-scale load every exchange runs
+#: saturated in flow control; that both caps single-process batch
+#: formation and makes credit timing depend on receiver consumption,
+#: which a conservatively-synchronized shard cannot reproduce (the cut
+#: channel's ledger would flag the run).  A window sized to several full
+#: batches keeps the certification clean across all three paper-tier
+#: workloads and is itself mildly faster single-process.
+SHARD_INBOX_CAPACITY = 512
+
+#: Host-cost operator weights for the shard partitioner, calibrated by
+#: profiling the paper-tier runs (per-record session-window work makes
+#: event counts alone under-weight `session`).  Workloads not listed fall
+#: back to telemetry event counts / uniform weights.
+SHARD_WEIGHTS = {
+    "twitch": {"twitch-source": 14, "parse": 22, "bot-filter": 19,
+               "enrich": 18, "session": 30, "loyalty": 20,
+               "twitch-sink": 4},
+}
 
 #: Named scales: ``smoke`` for CI, ``full`` for the recorded trajectory,
 #: ``paper`` for the paper-scale floor tier (nightly / on-demand CI):
@@ -193,13 +219,25 @@ def bench_channel_throughput(elements: int) -> Dict[str, float]:
 _E2E_LABELS = {"q7": "nexmark-q7", "q8": "nexmark-q8", "twitch": "twitch"}
 
 
-def bench_e2e_scenario(kind: str, until: float) -> Dict[str, float]:
+def bench_e2e_scenario(kind: str, until: float,
+                       shards: int = 1) -> Dict[str, float]:
     """One end-to-end workload (quick scenario config, no scaling).
 
     ``records_per_sec`` counts *physical* source records (batch entities ×
     count) per wall-clock second — the number that caps every figure run.
+
+    With ``shards > 1`` the scenario runs on the sharded multi-process
+    kernel *and* its single-process reference at the same (shard-profile)
+    config, and the result additionally records the partition plan, the
+    flow-control certification, result equivalence, and two speedups:
+    ``measured`` (wall-clock, meaningful only with >= ``shards`` free
+    cores) and ``critical_path`` (single CPU over bottleneck-shard CPU —
+    the hardware-independent pipeline number).
     """
     from ..experiments.scenarios import QUICK, make_workload
+
+    if shards > 1:
+        return _bench_e2e_sharded(kind, until, shards)
 
     workload = make_workload(kind, QUICK)
     t0 = time.perf_counter()
@@ -220,6 +258,57 @@ def bench_e2e_scenario(kind: str, until: float) -> Dict[str, float]:
         "records_per_sec": source / run_s if run_s else 0.0,
         "events_per_sec": events / run_s if run_s else 0.0,
         "sim_seconds_per_wall_second": until / run_s if run_s else 0.0,
+    }
+
+
+def _bench_e2e_sharded(kind: str, until: float, shards: int) -> Dict:
+    """Sharded e2e scenario: sharded run + same-config single reference."""
+    from ..engine.runtime import JobConfig
+    from ..experiments.scenarios import QUICK, make_workload
+    from ..simulation.sharded import run_sharded, run_single_reference
+
+    config = JobConfig(shards=shards, inbox_capacity=SHARD_INBOX_CAPACITY)
+
+    def factory():
+        return make_workload(kind, QUICK)
+
+    single = run_single_reference(factory, until=until, job_config=config)
+    sharded = run_sharded(factory, until=until, shards=shards,
+                          job_config=config,
+                          weights=SHARD_WEIGHTS.get(kind))
+    equal = single.semantic_view() == sharded.semantic_view()
+    run_s = sharded.wall_s
+    source = sharded.total_source_output()
+    single_cpu = single.worker_cpus[0] if single.worker_cpus else 0.0
+    bottleneck = sharded.bottleneck_cpu_s
+    return {
+        "scenario": (f"{_E2E_LABELS[kind]}/quick/until={until:g}"
+                     f"/shards={shards}"),
+        "sim_seconds": until,
+        "source_records": source,
+        "sink_records": sharded.total_sink_input(),
+        "kernel_events": sharded.kernel_events,
+        "wall_s": run_s,
+        "records_per_sec": source / run_s if run_s else 0.0,
+        "sim_seconds_per_wall_second": until / run_s if run_s else 0.0,
+        "sharded": {
+            "shards_requested": shards,
+            "workers": sharded.shards,
+            "plan": [list(s) for s in sharded.plan.shards]
+            if sharded.plan else [],
+            "replans": sharded.replans,
+            "forbidden_cuts": sharded.forbidden_cuts,
+            "backpressure_safe": sharded.backpressure_safe,
+            "results_equal_to_single": equal,
+            "worker_wall_s": sharded.worker_walls,
+            "worker_cpu_s": sharded.worker_cpus,
+            "single_wall_s": single.wall_s,
+            "single_cpu_s": single_cpu,
+            "bottleneck_cpu_s": bottleneck,
+            "speedup_measured": (single.wall_s / run_s) if run_s else 0.0,
+            "speedup_critical_path": (single_cpu / bottleneck)
+            if bottleneck else 0.0,
+        },
     }
 
 
@@ -254,16 +343,20 @@ def _reduce_runs(fn, args, best_of: int, stat: str) -> Dict[str, float]:
     raise ValueError(f"unknown stat: {stat!r} (want 'best' or 'median')")
 
 
-def _engine_config() -> Dict[str, Any]:
-    """The engine settings the e2e scenarios run under (defaults)."""
+def _engine_config(shards: int = 1) -> Dict[str, Any]:
+    """The engine settings the e2e scenarios run under."""
     from ..engine.columnar import HAVE_NUMPY
     from ..engine.runtime import JobConfig
 
     config = JobConfig()
+    inbox = (SHARD_INBOX_CAPACITY if shards > 1
+             else config.inbox_capacity)
     return {"record_plane": config.record_plane,
             "max_batch_size": config.max_batch_size,
             "scheduler": config.scheduler,
-            "columnar_available": HAVE_NUMPY}
+            "columnar_available": HAVE_NUMPY,
+            "shards": shards,
+            "inbox_capacity": inbox}
 
 
 def _check_scale(scale: str) -> Dict[str, Any]:
@@ -303,7 +396,7 @@ def run_kernel_bench(scale: str = "full", best_of: int = BEST_OF,
 
 
 def run_e2e_bench(scale: str = "full", best_of: int = BEST_OF,
-                  stat: str = "best") -> Dict[str, Any]:
+                  stat: str = "best", shards: int = 1) -> Dict[str, Any]:
     params = _check_scale(scale)
     scenarios = params["e2e"]
     if len(scenarios) == 1:
@@ -311,13 +404,15 @@ def run_e2e_bench(scale: str = "full", best_of: int = BEST_OF,
         # recorded trajectory and committed baselines stay comparable.
         kind, until = scenarios[0]
         results: Dict[str, Any] = _reduce_runs(
-            bench_e2e_scenario, (kind, until), best_of, stat)
+            bench_e2e_scenario, (kind, until, shards), best_of, stat)
     else:
-        results = {kind: _reduce_runs(bench_e2e_scenario, (kind, until),
+        results = {kind: _reduce_runs(bench_e2e_scenario,
+                                      (kind, until, shards),
                                       best_of, stat)
                    for kind, until in scenarios}
     return {"schema": BENCH_SCHEMA, "bench": "e2e", "scale": scale,
-            "best_of": best_of, "stat": stat, "config": _engine_config(),
+            "best_of": best_of, "stat": stat,
+            "config": _engine_config(shards),
             "results": results}
 
 
@@ -348,10 +443,13 @@ def write_bench_files(output_dir: str = ".",
                       scale: str = "full",
                       which: Optional[str] = None,
                       best_of: Optional[int] = None,
-                      stat: str = "best") -> Dict[str, str]:
+                      stat: str = "best",
+                      shards: int = 1) -> Dict[str, str]:
     """Run the suites and write ``BENCH_kernel.json`` / ``BENCH_e2e.json``.
 
     Returns {bench name: written path}.  ``which`` limits to one suite.
+    ``shards`` > 1 runs the e2e scenarios on the sharded kernel (the
+    kernel microbenches are single-process by construction).
     """
     import json
     import os
@@ -367,7 +465,10 @@ def write_bench_files(output_dir: str = ".",
     for name, runner in runners.items():
         if which is not None and name != which:
             continue
-        doc = runner(scale, best_of=best_of, stat=stat)
+        if name == "e2e":
+            doc = runner(scale, best_of=best_of, stat=stat, shards=shards)
+        else:
+            doc = runner(scale, best_of=best_of, stat=stat)
         _attach_baseline(doc)
         path = os.path.join(output_dir, f"BENCH_{name}.json")
         with open(path, "w") as f:
@@ -472,6 +573,48 @@ def compare_bench_docs(current: Dict[str, Any], baseline: Dict[str, Any],
                          "current": our_events[name],
                          "delta_pct": None, "regressed": False})
     return rows, regressions
+
+
+#: Config keys whose mismatch makes a bench comparison apples-to-oranges.
+_CONFIG_COMPARE_KEYS = ("scheduler", "record_plane", "max_batch_size",
+                        "shards", "inbox_capacity")
+
+
+def config_mismatch_warnings(current: Dict[str, Any],
+                             baseline: Dict[str, Any]) -> List[str]:
+    """Warnings for engine-config differences between two bench docs.
+
+    A delta between runs under different schedulers, record planes, or
+    shard counts measures the *config*, not the code under test; callers
+    should surface both configs next to the delta table instead of
+    comparing silently.  Keys absent from one doc (older schemas) are
+    reported as unrecorded rather than assumed equal.
+    """
+    ours = current.get("config") or {}
+    theirs = baseline.get("config") or {}
+    warnings = []
+    for key in _CONFIG_COMPARE_KEYS:
+        a, b = ours.get(key), theirs.get(key)
+        if a == b:
+            continue
+        if b is None and key not in theirs:
+            warnings.append(
+                f"baseline does not record config.{key} "
+                f"(schema {baseline.get('schema', '?')}); current runs "
+                f"with {key}={a!r}")
+        else:
+            warnings.append(
+                f"config mismatch: current {key}={a!r} vs baseline "
+                f"{key}={b!r} — deltas reflect the config change, not "
+                "the code under test")
+    return warnings
+
+
+def format_config(doc: Dict[str, Any]) -> str:
+    """One-line rendering of a bench doc's engine config."""
+    config = doc.get("config") or {}
+    parts = [f"{k}={config[k]!r}" for k in sorted(config)]
+    return ", ".join(parts) if parts else "(no config recorded)"
 
 
 def format_delta_table(rows: List[Dict[str, Any]],

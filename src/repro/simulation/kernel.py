@@ -445,12 +445,17 @@ class Simulator:
                  "scheduler")
 
     def __init__(self, scheduler: Optional[str] = None):
-        if scheduler is None:
+        from_env = scheduler is None
+        if from_env:
             scheduler = _default_scheduler()
         if scheduler not in SCHEDULERS:
-            raise SimulationError(
-                f"unknown scheduler {scheduler!r}; expected one of "
-                f"{SCHEDULERS}")
+            # Same wording as JobConfig.scheduler validation, so callers
+            # see one error shape whether the bad value arrived via config
+            # or via the REPRO_SCHEDULER environment variable.
+            source = " (from REPRO_SCHEDULER)" if from_env else ""
+            raise ValueError(
+                f"unknown scheduler{source}: {scheduler!r} "
+                f"(expected one of: {', '.join(SCHEDULERS)})")
         #: Which pending-event queue implementation this simulator runs on
         #: ("heap" or "calendar").  Dispatch order is identical; only the
         #: data structure (and its scaling behaviour) differs.

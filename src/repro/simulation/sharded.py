@@ -1,0 +1,949 @@
+"""Sharded multi-process kernel: conservative-lookahead partitioned runs.
+
+The single-process kernel executes the whole operator graph in one event
+loop; at paper scale the host CPU, not simulated time, is the bottleneck.
+This module partitions the graph into contiguous topological segments
+(:func:`repro.engine.routing.partition_graph`), runs each segment in its own
+worker process on its own :class:`~repro.simulation.kernel.Simulator`, and
+synchronizes the workers conservatively (Chandy–Misra–Bryant style):
+
+* Every **cut edge** (an inter-shard operator edge) has strictly positive
+  channel latency — the *lookahead*.  A record delivered into a downstream
+  shard at simulated time ``t`` can cause an egress delivery no earlier
+  than ``t`` (services and serialization are non-negative, the outgoing
+  latency is positive), so grants never regress.
+* Each worker repeatedly advances its local event loop to
+  ``stop = min(safe, now + quantum)`` where ``safe = min(upstream grants)``
+  — the null-message exchange.  A **grant** is a lower bound on the
+  delivery time of any message the upstream shard may still send:
+  ``min(local event queue head, staged ingress head, its own safe)``.
+* Cross-shard record traffic is captured at the *sender's* simulated
+  delivery time by a proxy input-channel endpoint (:class:`_Egress`) and
+  re-injected at the *receiver* at exactly that time, in canonical
+  ``(time, channel id, FIFO seq)`` order — so ``(time, seq)`` ordering on
+  every cut channel is preserved.
+
+The shard graph is feed-forward (contiguous topological segments), so the
+first shard always progresses and the pipeline never deadlocks; speedup is
+pipeline parallelism — all shards crunch different sim-time windows of the
+same run concurrently.
+
+**Flow-control caveat** (documented in docs/performance.md): cut channels
+run with unbounded sender credits — receiver-side flow control cannot be
+simulated conservatively without a feedback channel.  A post-hoc credit
+ledger replays the single-process credit counter against the actual
+delivery/consumption times and flags the run (``backpressure_safe=False``)
+if backpressure *would* have engaged, in which case the sharded timing is
+not equivalent to single-process and callers should fall back.
+
+Barriers, checkpoints, rescale, fault injection, telemetry and autoscale
+all require a single event loop and fall back to single-process execution
+(:func:`supports_sharding` / the ``shards<=1`` path), mirroring the batched
+plane's per-record fallback.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import math
+import multiprocessing
+import os
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..engine.records import RecordBatch
+from ..engine.routing import ShardPlan, partition_graph, topological_order
+
+__all__ = [
+    "ShardSpec",
+    "ShardedRunResult",
+    "run_sharded",
+    "run_single_reference",
+    "supports_sharding",
+    "collect_run_view",
+    "plan_for_job",
+]
+
+#: Default sim-seconds a worker advances per synchronization pass.  Only
+#: pipe-batching granularity — runahead is unbounded (feed-forward DAG).
+DEFAULT_QUANTUM = 0.25
+
+
+def supports_sharding(config=None, *, controller=None,
+                      telemetry=False, faults=False) -> bool:
+    """True when a run may use the multi-process kernel.
+
+    Any feature that needs one global event loop (scaling controllers,
+    telemetry probes, fault injection) degrades to single-process, as do
+    platforms without the ``fork`` start method (the workers inherit the
+    workload factory by forking).
+    """
+    if controller is not None or telemetry or faults:
+        return False
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Shard specs (pickled parent -> worker) and plan construction
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ShardSpec:
+    """Everything one worker needs beyond the forked workload factory.
+
+    Sent pickled over the worker's spec pipe (the workload factory itself
+    rides the fork; the spec is genuinely serialized).
+    """
+
+    shard_id: int
+    #: Operator names per shard, topological-contiguous (full plan — every
+    #: worker derives the identical channel enumeration from it).
+    shards: List[List[str]] = field(default_factory=list)
+    until: float = 0.0
+    quantum: float = DEFAULT_QUANTUM
+    #: JobConfig fields (with ``shards`` forced to 1 for the local build).
+    config_kwargs: Dict[str, Any] = field(default_factory=dict)
+    collect_sinks: bool = False
+    trace_watermarks: bool = False
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+
+def _config_kwargs(config) -> Dict[str, Any]:
+    # Not dataclasses.asdict — that would recurse into the nested
+    # StateTransferCostModel and JobConfig(**kwargs) would get a dict.
+    kwargs = {f.name: getattr(config, f.name)
+              for f in dataclasses.fields(config)}
+    kwargs["shards"] = 1
+    return kwargs
+
+
+def plan_for_job(job, num_shards: int,
+                 weights: Optional[Dict[str, float]] = None,
+                 forbidden_edges: Optional[set] = None) -> ShardPlan:
+    """Partition a built job's graph using its *actual* channel latencies.
+
+    The legality of a cut is decided by the minimum latency any physical
+    channel of the edge has (instance placement can map one logical edge
+    onto several links).  ``weights`` default to per-operator event counts
+    when the job has run (telemetry probe / previous run), else uniform.
+    ``forbidden_edges`` (edge names, ``"src->dst"``) are treated as
+    zero-latency — i.e. never cut; :func:`run_sharded` uses this to
+    replan around cut channels whose credit ledger showed single-process
+    flow control would have engaged.
+    """
+    lat: Dict[str, float] = {}
+    for op_name in job.graph.operators:
+        for inst in job.instances(op_name):
+            for edge in inst.router.edges:
+                name = f"{op_name}->{edge.dst_op}"
+                for ch in edge.channels:
+                    cur = lat.get(name)
+                    l = ch.link.latency
+                    lat[name] = l if cur is None else min(cur, l)
+    if weights is None:
+        weights = operator_event_weights(job)
+    forbidden = forbidden_edges or set()
+
+    def edge_latency(e):
+        if e.name in forbidden:
+            return 0.0
+        return lat.get(e.name, 0.0)
+
+    return partition_graph(job.graph, num_shards, edge_latency,
+                           weights=weights)
+
+
+def operator_event_weights(job) -> Optional[Dict[str, float]]:
+    """Per-operator event-count weights from a (probe) run's counters.
+
+    Returns ``None`` when the job has not processed anything yet (fresh
+    build) so the partitioner falls back to uniform weights.  Sources do
+    not count records the way operators do; they are weighted like their
+    heaviest direct consumer (they emit what the consumer processes).
+    """
+    counts: Dict[str, float] = {}
+    for op_name in job.graph.operators:
+        counts[op_name] = float(sum(
+            inst.records_processed for inst in job.instances(op_name)))
+    if not any(counts.values()):
+        return None
+    for spec in job.graph.sources():
+        downstream = [counts.get(e.dst, 0.0)
+                      for e in job.graph.out_edges(spec.name)]
+        counts[spec.name] = max(downstream) if downstream else 1.0
+    floor = max(counts.values()) * 0.01 + 1.0
+    return {name: max(c, floor) for name, c in counts.items()}
+
+
+# ---------------------------------------------------------------------------
+# Channel enumeration (identical deterministic walk in every worker)
+# ---------------------------------------------------------------------------
+
+def _enumerate_channels(job) -> List[Tuple[int, str, str, object]]:
+    """``[(channel_id, src_op, dst_op, Channel)]`` in deterministic order.
+
+    Walk: operators in topological order, instances in index order, output
+    edges in attach order, channels in attach order — every worker builds
+    the same job the same way, so ids agree across processes.
+    """
+    out = []
+    cid = 0
+    for op_name in topological_order(job.graph):
+        for inst in job.instances(op_name):
+            for edge in inst.router.edges:
+                for ch in edge.channels:
+                    out.append((cid, op_name, edge.dst_op, ch))
+                    cid += 1
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Proxy endpoints
+# ---------------------------------------------------------------------------
+
+class _Egress:
+    """Sender-side stand-in for the receiver's InputChannel.
+
+    The real Channel keeps simulating serialization and propagation; its
+    delivery events call these methods at the exact per-element delivery
+    times, which we capture (kind, channel id, time, element) for the pipe.
+    Credit debits for the post-hoc flow-control ledger are reconstructed
+    here: an element delivered at ``t`` left the outbox (consumed its
+    credit) one serialization + propagation earlier.
+    """
+
+    __slots__ = ("cid", "sim", "buf", "latency", "bw", "debits")
+
+    def __init__(self, cid: int, sim, buf: List, latency: float, bw: float,
+                 debits: List):
+        self.cid = cid
+        self.sim = sim
+        self.buf = buf
+        self.latency = latency
+        self.bw = bw
+        self.debits = debits
+
+    def deliver(self, element) -> None:
+        now = self.sim._now
+        size = getattr(element, "size_bytes", 0.0) or 0.0
+        self.debits.append((now - self.latency - size / self.bw, 1))
+        self.buf.append(("e", self.cid, now, element))
+
+    def deliver_batch(self, batch) -> None:
+        batch._columns = None  # numpy views don't cross the pipe
+        head = batch.records[0]
+        when = (batch.visible_times[0] - self.latency
+                - head.size_bytes / self.bw)
+        self.debits.append((when, len(batch.records)))
+        self.buf.append(("b", self.cid, self.sim._now, batch))
+
+    def deliver_control(self, element) -> None:
+        # Control lane bypasses flow control: no debit.
+        self.buf.append(("c", self.cid, self.sim._now, element))
+
+    def total_depth(self) -> int:
+        return 0
+
+
+class _IngressFeed:
+    """Receiver-side stand-in for the sending Channel.
+
+    Keeps the real InputChannel; this object answers the two questions the
+    consume side asks its backing channel:
+
+    * ``_consume_arrival_bound``: "when can the next element arrive?" — we
+      maintain a sentinel :class:`RecordBatch` on a fake one-element wire
+      whose ``visible_times[0]`` is the bound: the earliest staged (known,
+      not yet injected) message time, else the conservative floor (the
+      current pass's stop — nothing can arrive below it).
+    * credit returns (``pop``/``remove``/analytic-batch consumption) — we
+      only *ledger* them (see module docstring): ``credits`` stays huge so
+      formation on the sending side (in the other process) is never gated
+      here, and return times are recorded for the post-hoc replay.
+    """
+
+    __slots__ = ("cid", "sim", "pending", "floor", "_sentinel", "_wire",
+                 "credits", "returns", "link", "_serializing", "_closed",
+                 "outbox", "_send_waiters")
+
+    def __init__(self, cid: int, sim, link):
+        self.cid = cid
+        self.sim = sim
+        #: Delivery times of staged-but-not-yet-injected messages (FIFO).
+        self.pending: deque = deque()
+        self.floor = 0.0
+        self._sentinel = RecordBatch([], visible_times=[0.0])
+        self._wire = ((self._sentinel, 0),)
+        self.credits = float("inf")
+        #: Times at which the receiver returned a flow-control credit.
+        self.returns: List[float] = []
+        self.link = link
+        self._serializing = None
+        self._closed = False
+        self.outbox = ()
+        self._send_waiters = ()
+
+    def update_bound(self) -> None:
+        self._sentinel.visible_times[0] = (
+            self.pending[0] if self.pending else self.floor)
+
+    # -- credit ledger (InputChannel call sites) ----------------------------
+
+    def _kick(self) -> None:
+        # Called right after the inlined ``credits += 1`` in pop().
+        self.returns.append(self.sim._now)
+
+    def _return_credit(self) -> None:
+        self.returns.append(self.sim._now)
+
+    def defer_credit(self, due: float) -> None:
+        self.returns.append(due)
+
+    def cancel_deferred_credit(self, due: float) -> None:
+        for i in range(len(self.returns) - 1, -1, -1):
+            if self.returns[i] == due:
+                del self.returns[i]
+                return
+
+
+# ---------------------------------------------------------------------------
+# Run-view collection (shared by workers and the single-process reference)
+# ---------------------------------------------------------------------------
+
+def _canon(obj):
+    """Canonical, process-independent form of a state value for digesting."""
+    if isinstance(obj, dict):
+        return tuple(sorted(((repr(k), _canon(v)) for k, v in obj.items())))
+    if isinstance(obj, (set, frozenset)):
+        return tuple(sorted(repr(x) for x in obj))
+    if isinstance(obj, (list, tuple)):
+        return tuple(_canon(x) for x in obj)
+    return repr(obj)
+
+
+def _state_digest(instance) -> str:
+    """Stable digest of an instance's keyed state.
+
+    Excludes ``KeyGroupState.version`` (a process-wide counter, not
+    simulated state) and canonicalizes dict/set ordering.
+    """
+    import hashlib
+    groups = []
+    for g in sorted(instance.state.groups(), key=lambda g: g.key_group):
+        groups.append((g.key_group, g.status.name, repr(g.size_bytes),
+                       _canon(g.entries), _canon(g.sub_groups_present)))
+    return hashlib.sha256(repr(groups).encode()).hexdigest()
+
+
+def _record_view(rec) -> tuple:
+    """A Record as comparable data, excluding process-local ids."""
+    return (rec.key, rec.key_group, rec.event_time, _canon(rec.value),
+            rec.count, rec.size_bytes, rec.created_at)
+
+
+def collect_run_view(job, owned_ops, *, collect_sinks=False,
+                     watermark_traces=None) -> Dict[str, Any]:
+    """The comparable outcome of a run, restricted to ``owned_ops``."""
+    metrics = job.metrics
+    view: Dict[str, Any] = {
+        "latency_samples": list(metrics.latency_samples),
+        "source_events": list(metrics._source_events),
+        "sink_events": list(metrics._sink_events),
+        "custom": {k: list(v) for k, v in metrics.custom.items()},
+        "state_digests": {},
+        "watermarks": {},
+        "records_processed": {},
+        "sinks": {},
+        "watermark_traces": dict(watermark_traces or {}),
+    }
+    sink_names = {spec.name for spec in job.graph.sinks()}
+    for op_name in owned_ops:
+        for inst in job.instances(op_name):
+            view["watermarks"][inst.name] = inst.current_watermark
+            view["records_processed"][inst.name] = inst.records_processed
+            if inst.state.groups():
+                view["state_digests"][inst.name] = _state_digest(inst)
+            if op_name in sink_names:
+                logic = inst.logic
+                view["sinks"][inst.name] = {
+                    "records_in": getattr(logic, "records_in", None),
+                    "collected": ([_record_view(r)
+                                   for r in logic.collected]
+                                  if collect_sinks and
+                                  getattr(logic, "collect", False) else None),
+                }
+    return view
+
+
+def _merge_views(views: List[Dict[str, Any]]) -> Dict[str, Any]:
+    merged: Dict[str, Any] = {
+        "latency_samples": [], "source_events": [], "sink_events": [],
+        "custom": {}, "state_digests": {}, "watermarks": {},
+        "records_processed": {}, "sinks": {}, "watermark_traces": {},
+    }
+    for v in views:
+        merged["latency_samples"] += v["latency_samples"]
+        merged["source_events"] += v["source_events"]
+        merged["sink_events"] += v["sink_events"]
+        for k, series in v["custom"].items():
+            merged["custom"].setdefault(k, []).extend(series)
+        for k in ("state_digests", "watermarks", "records_processed",
+                  "sinks", "watermark_traces"):
+            merged[k].update(v[k])
+    # Cross-shard concatenation order is shard order; normalize the merged
+    # time series so they compare equal to the single-process ordering.
+    merged["latency_samples"].sort()
+    merged["source_events"].sort()
+    merged["sink_events"].sort()
+    for series in merged["custom"].values():
+        series.sort()
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Worker
+# ---------------------------------------------------------------------------
+
+def _install_watermark_trace(job, traces: Dict[str, List]) -> None:
+    """Record (arrival sim-time, timestamp) of every sink-side watermark."""
+    from ..engine.records import Watermark
+    for spec in job.graph.sinks():
+        for inst in job.instances(spec.name):
+            trace = traces.setdefault(inst.name, [])
+
+            def intercept(channel, element, _inst=inst, _trace=trace):
+                if element.__class__ is Watermark:
+                    _trace.append((_inst.sim._now, element.timestamp))
+                return False
+
+            inst.element_interceptor = intercept
+
+
+def _build_local_job(workload, spec: ShardSpec):
+    """Replicate ``Workload.build`` with shard-selective generator spawn."""
+    from ..engine.runtime import JobConfig, StreamJob
+    config = JobConfig(**spec.config_kwargs)
+    graph = workload.build_graph()
+    job = StreamJob(graph, config=config)
+    job.build()
+    owned = set(spec.shards[spec.shard_id])
+    owns_sources = any(graph.operators[name].is_source for name in owned)
+    if owns_sources:
+        for index, generator in enumerate(workload.generators(job)):
+            job.sim.spawn(generator, name=f"{workload.name}-gen-{index}")
+    if spec.collect_sinks:
+        for sink_spec in graph.sinks():
+            if sink_spec.name in owned:
+                for inst in job.instances(sink_spec.name):
+                    inst.logic.collect = True
+    return job, owned
+
+
+def _localize(job, spec: ShardSpec):
+    """Replace cross-shard channel endpoints with proxies; start owned ops.
+
+    Returns ``(egress_buffers, feeds, debits)`` where ``egress_buffers``
+    maps a downstream shard id to its capture list, ``feeds`` maps channel
+    id to its :class:`_IngressFeed`, and ``debits`` maps channel id to the
+    credit-debit ledger list its egress endpoint appends to.
+    """
+    shard_of = {name: i for i, ops in enumerate(spec.shards)
+                for name in ops}
+    me = spec.shard_id
+    egress_buffers: Dict[int, List] = {}
+    debits: Dict[int, List] = {}
+    feeds: Dict[int, _IngressFeed] = {}
+    for cid, src_op, dst_op, ch in _enumerate_channels(job):
+        s, d = shard_of[src_op], shard_of[dst_op]
+        if s == d:
+            continue
+        if s == me:
+            buf = egress_buffers.setdefault(d, [])
+            debit = debits.setdefault(cid, [])
+            ch.input_channel = _Egress(cid, job.sim, buf, ch.link.latency,
+                                       ch.link.bandwidth, debit)
+            ch.credits = float("inf")
+        elif d == me:
+            feed = _IngressFeed(cid, job.sim, ch.link)
+            ic = ch.input_channel
+            ic.channel = feed
+            feed.update_bound()
+            feeds[cid] = feed
+    owned = set(spec.shards[me])
+    for op_name in owned:
+        for inst in job.instances(op_name):
+            inst.start()
+    return egress_buffers, feeds, debits
+
+
+def _inject(ic, kind: str, element) -> None:
+    if kind == "e":
+        ic.deliver(element)
+    elif kind == "b":
+        ic.deliver_batch(element)
+    else:
+        ic.deliver_control(element)
+
+
+def _worker_main(shard_id: int, workload_factory, spec_conn, result_conn,
+                 upstream: Dict[int, Any], downstream: Dict[int, Any]):
+    """One shard's event loop under conservative synchronization."""
+    try:
+        spec: ShardSpec = spec_conn.recv()
+        workload = workload_factory()
+        job, owned = _build_local_job(workload, spec)
+        sim = job.sim
+        egress_buffers, feeds, debits = _localize(job, spec)
+        traces: Dict[str, List] = {}
+        if spec.trace_watermarks:
+            _install_watermark_trace(job, traces)
+        ics = {}
+        for cid, _s, _d, ch in _enumerate_channels(job):
+            if cid in feeds:
+                ics[cid] = ch.input_channel
+
+        until = spec.until
+        quantum = spec.quantum
+        grants = {u: 0.0 for u in upstream}
+        sent_grant = {d: -1.0 for d in downstream}
+        # Staged ingress: heap of (time, channel_id, seq, kind, payload).
+        staged: List[Tuple] = []
+        seqs = {cid: 0 for cid in feeds}
+        my_grant = 0.0
+        t0 = time.perf_counter()
+        cpu0 = time.process_time()
+
+        def drain_upstream(block: bool) -> None:
+            conns = list(upstream.values())
+            if block:
+                multiprocessing.connection.wait(conns, timeout=10.0)
+            for u, conn in upstream.items():
+                while conn.poll():
+                    kind, grant, msgs = conn.recv()
+                    grants[u] = max(grants[u], grant)
+                    for mkind, cid, t, payload in msgs:
+                        seq = seqs[cid]
+                        seqs[cid] = seq + 1
+                        heapq.heappush(staged, (t, cid, seq, mkind, payload))
+                        feed = feeds[cid]
+                        feed.pending.append(t)
+                        feed.update_bound()
+                    if kind == "done":
+                        grants[u] = float("inf")
+
+        def flush(final: bool) -> None:
+            nonlocal my_grant
+            local_next = sim.peek()
+            pending_min = min((s[0] for s in staged[:1]), default=math.inf)
+            safe = min(grants.values()) if grants else math.inf
+            if final:
+                my_grant = math.inf
+            else:
+                my_grant = max(my_grant,
+                               min(local_next, pending_min, safe))
+            for d, conn in downstream.items():
+                msgs = egress_buffers.get(d)
+                if msgs or my_grant > sent_grant[d]:
+                    # send() pickles synchronously; clear in place — the
+                    # _Egress endpoints hold a reference to this list.
+                    conn.send(("done" if final else "adv", my_grant,
+                               msgs or []))
+                    sent_grant[d] = my_grant
+                    if msgs:
+                        msgs.clear()
+
+        def run_to(stop: float, inclusive: bool) -> None:
+            """Advance local sim to ``stop``, injecting staged messages
+            below it (at it too, when inclusive) at their exact times."""
+            while staged:
+                t = staged[0][0]
+                if t > stop or (t == stop and not inclusive):
+                    break
+                sim.run(until=math.nextafter(t, -math.inf))
+                # All messages at exactly t, canonical (t, cid, seq) order.
+                batch = []
+                while staged and staged[0][0] == t:
+                    _t, cid, _seq, mkind, payload = heapq.heappop(staged)
+                    batch.append((cid, mkind, payload))
+                for cid, mkind, payload in batch:
+                    feed = feeds[cid]
+
+                    def deliver(cid=cid, mkind=mkind, payload=payload,
+                                feed=feed):
+                        feed.pending.popleft()
+                        feed.update_bound()
+                        _inject(ics[cid], mkind, payload)
+
+                    sim.call_at(t, deliver)
+            for feed in feeds.values():
+                feed.floor = stop
+                feed.update_bound()
+            if inclusive:
+                sim.run(until=stop)
+            else:
+                sim.run(until=math.nextafter(stop, -math.inf))
+
+        # `frontier` is the exclusive simulated-time bound this shard has
+        # fully executed (run_to leaves sim._now at nextafter(stop, -inf),
+        # so sim._now itself never equals the bound).
+        frontier = 0.0
+        profiler = None
+        if os.environ.get("REPRO_SHARD_PROFILE"):
+            import cProfile
+            profiler = cProfile.Profile()
+            profiler.enable()
+        while True:
+            drain_upstream(block=False)
+            safe = min(grants.values()) if grants else math.inf
+            if safe > until:
+                # Everything upstream is final: run inclusive of events at
+                # `until` (matching single-process job.run semantics),
+                # chunked so downstream keeps receiving traffic.
+                while frontier < until:
+                    frontier = min(frontier + quantum, until)
+                    if frontier == until:
+                        break
+                    run_to(frontier, inclusive=False)
+                    flush(final=False)
+                run_to(until, inclusive=True)
+                job._sync_batches()
+                flush(final=True)
+                break
+            stop = min(safe, frontier + quantum, until)
+            if stop > frontier or (staged and staged[0][0] < stop):
+                run_to(stop, inclusive=False)
+                frontier = max(frontier, stop)
+                flush(final=False)
+            else:
+                # Cannot advance: wait for upstream grants/messages.
+                flush(final=False)
+                drain_upstream(block=True)
+
+        if profiler is not None:
+            profiler.disable()
+            import pstats
+            out = os.environ["REPRO_SHARD_PROFILE"]
+            profiler.dump_stats(f"{out}.shard{shard_id}.prof")
+        view = collect_run_view(job, owned,
+                                collect_sinks=spec.collect_sinks,
+                                watermark_traces=traces)
+        bundle = {
+            "shard_id": shard_id,
+            "view": view,
+            "events_processed": sim.events_processed,
+            "wall_s": time.perf_counter() - t0,
+            "cpu_s": time.process_time() - cpu0,
+            "credit_returns": {cid: feed.returns
+                               for cid, feed in feeds.items()},
+            "credit_debits": debits,
+            "inbox_capacity": job.config.inbox_capacity,
+        }
+        result_conn.send(("done", bundle))
+    except BaseException:
+        try:
+            result_conn.send(("err", traceback.format_exc()))
+        except Exception:  # pragma: no cover - parent gone
+            pass
+    finally:
+        result_conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Credit-ledger replay (post-hoc backpressure check)
+# ---------------------------------------------------------------------------
+
+def _replay_credits(debits: Dict[int, List[Tuple[float, int]]],
+                    returns: Dict[int, List[float]],
+                    capacity: int,
+                    edge_of: Optional[Dict[int, str]] = None,
+                    ) -> Tuple[bool, List[str], set]:
+    """Replay each cut channel's credit counter; flag exhaustion."""
+    problems = []
+    flagged = set()
+    edge_of = edge_of or {}
+    for cid, debit_list in debits.items():
+        events = [(when, 1, -k) for when, k in debit_list]
+        events += [(when, 0, 1) for when in returns.get(cid, [])]
+        events.sort()
+        credits = capacity
+        low = capacity
+        for _when, _prio, delta in events:
+            credits += delta
+            low = min(low, credits)
+        if low < 0:
+            edge = edge_of.get(cid)
+            where = f"channel {cid}" + (f" ({edge})" if edge else "")
+            problems.append(
+                f"{where}: single-process flow control would have "
+                f"engaged (credit low-water {low}, capacity {capacity})")
+            if edge:
+                flagged.add(edge)
+    return (not problems), problems, flagged
+
+
+# ---------------------------------------------------------------------------
+# Result + orchestration
+# ---------------------------------------------------------------------------
+
+class ShardedRunResult:
+    """Merged outcome of a sharded (or reference single-process) run."""
+
+    def __init__(self, view: Dict[str, Any], *, shards: int, plan=None,
+                 events_per_shard=None, wall_s: float = 0.0,
+                 worker_walls=None, worker_cpus=None,
+                 backpressure_safe: bool = True,
+                 backpressure_detail=None, until: float = 0.0,
+                 replans: int = 0, forbidden_cuts=None):
+        self.view = view
+        self.shards = shards
+        self.plan = plan
+        self.events_per_shard = events_per_shard or []
+        self.wall_s = wall_s
+        self.worker_walls = worker_walls or []
+        self.worker_cpus = worker_cpus or []
+        self.backpressure_safe = backpressure_safe
+        self.backpressure_detail = backpressure_detail or []
+        self.until = until
+        self.replans = replans
+        self.forbidden_cuts = sorted(forbidden_cuts or [])
+        self._flagged_edges: set = set()
+
+    # -- bench-facing aggregates -------------------------------------------
+
+    @property
+    def kernel_events(self) -> int:
+        return sum(self.events_per_shard)
+
+    @property
+    def bottleneck_cpu_s(self) -> float:
+        """CPU seconds of the busiest shard — the critical-path wall time
+        the run would take with one free core per shard.  On machines with
+        fewer cores than shards, measured wall-clock reflects timeslicing
+        of one core, not the pipeline; this is the hardware-independent
+        number (plus IPC, which overlaps with compute)."""
+        return max(self.worker_cpus, default=0.0)
+
+    def total_source_output(self) -> int:
+        return sum(c for _t, c in self.view["source_events"])
+
+    def total_sink_input(self) -> int:
+        return sum(c for _t, c in self.view["sink_events"])
+
+    # -- equivalence -------------------------------------------------------
+
+    def semantic_view(self) -> Dict[str, Any]:
+        """The cross-process-comparable subtree (no kernel event counts —
+        injection callbacks inflate them; no wall-clock).
+
+        Time series are sorted: a sharded run concatenates per-shard
+        series, a single-process run records them in dispatch order — the
+        multisets must be identical, the interleavings need not be.
+        """
+        view = dict(self.view)
+        view["latency_samples"] = sorted(view["latency_samples"])
+        view["source_events"] = sorted(view["source_events"])
+        view["sink_events"] = sorted(view["sink_events"])
+        view["custom"] = {k: sorted(v) for k, v in view["custom"].items()}
+        return view
+
+
+def run_single_reference(workload_factory, *, until: float,
+                         job_config=None, collect_sinks: bool = False,
+                         trace_watermarks: bool = False) -> ShardedRunResult:
+    """Single-process run producing the same result shape as a sharded run."""
+    from ..engine.runtime import JobConfig
+    import dataclasses as _dc
+    config = job_config or JobConfig()
+    if config.shards != 1:
+        config = _dc.replace(config, shards=1)
+    workload = workload_factory()
+    job = workload.build(job_config=config)
+    if collect_sinks:
+        for spec in job.graph.sinks():
+            for inst in job.instances(spec.name):
+                inst.logic.collect = True
+    traces: Dict[str, List] = {}
+    if trace_watermarks:
+        _install_watermark_trace(job, traces)
+    t0 = time.perf_counter()
+    cpu0 = time.process_time()
+    job.run(until=until)
+    cpu = time.process_time() - cpu0
+    wall = time.perf_counter() - t0
+    view = collect_run_view(job, list(job.graph.operators),
+                            collect_sinks=collect_sinks,
+                            watermark_traces=traces)
+    return ShardedRunResult(view, shards=1,
+                            events_per_shard=[job.sim.events_processed],
+                            wall_s=wall, worker_cpus=[cpu], until=until)
+
+
+def run_sharded(workload_factory, *, until: float, shards: int,
+                job_config=None, weights: Optional[Dict[str, float]] = None,
+                collect_sinks: bool = False,
+                trace_watermarks: bool = False,
+                quantum: float = DEFAULT_QUANTUM,
+                max_replans: int = 1) -> ShardedRunResult:
+    """Run a workload to ``until`` across ``shards`` worker processes.
+
+    ``workload_factory`` must be a zero-argument callable returning a
+    fresh :class:`~repro.workloads.base.Workload`; each worker calls it
+    after forking and builds the *full* job deterministically, then starts
+    only its own shard's instances.  Falls back to
+    :func:`run_single_reference` when ``shards <= 1``, the plan collapses
+    to one shard, or the platform cannot fork.
+
+    When the post-hoc credit ledger shows single-process flow control
+    would have engaged on a cut channel (``backpressure_safe`` False —
+    the one case where results may diverge from single-process), the run
+    is re-planned with those edges forbidden and retried, up to
+    ``max_replans`` times.  A result that still is not certified is
+    returned with ``backpressure_safe=False`` so callers can fall back.
+    """
+    from ..engine.runtime import JobConfig
+    config = job_config or JobConfig()
+    if shards <= 1 or not supports_sharding(config):
+        return run_single_reference(
+            workload_factory, until=until, job_config=config,
+            collect_sinks=collect_sinks, trace_watermarks=trace_watermarks)
+
+    # Plan on a throwaway build (actual channel latencies, no run).
+    probe_workload = workload_factory()
+    probe_job = probe_workload.build(job_config=dataclasses.replace(
+        config, shards=1))
+
+    forbidden: set = set()
+    replans = 0
+    while True:
+        plan = plan_for_job(probe_job, shards, weights=weights,
+                            forbidden_edges=forbidden)
+        if plan.num_shards <= 1:
+            return run_single_reference(
+                workload_factory, until=until, job_config=config,
+                collect_sinks=collect_sinks,
+                trace_watermarks=trace_watermarks)
+        result = _run_sharded_once(
+            workload_factory, probe_job, plan, config, until=until,
+            collect_sinks=collect_sinks, trace_watermarks=trace_watermarks,
+            quantum=quantum)
+        result.replans = replans
+        result.forbidden_cuts = sorted(forbidden)
+        flagged = result._flagged_edges & set(plan.cut_edges)
+        if result.backpressure_safe or replans >= max_replans or not flagged:
+            return result
+        forbidden |= flagged
+        replans += 1
+
+
+def _run_sharded_once(workload_factory, probe_job, plan, config, *,
+                      until: float, collect_sinks: bool,
+                      trace_watermarks: bool,
+                      quantum: float) -> ShardedRunResult:
+    ctx = multiprocessing.get_context("fork")
+    spec_pipes = [ctx.Pipe(duplex=False) for _ in range(plan.num_shards)]
+    result_pipes = [ctx.Pipe(duplex=False) for _ in range(plan.num_shards)]
+    # One pipe per cut shard pair (u -> v).
+    pairs = set()
+    shard_of = plan.shard_of
+    for e in probe_job.graph.edges:
+        s, d = shard_of[e.src], shard_of[e.dst]
+        if s != d:
+            pairs.add((s, d))
+    pair_pipes = {pair: ctx.Pipe(duplex=False) for pair in sorted(pairs)}
+
+    workers = []
+    t0 = time.perf_counter()
+    for sid in range(plan.num_shards):
+        up = {u: pair_pipes[(u, v)][0] for (u, v) in pairs if v == sid}
+        down = {v: pair_pipes[(u, v)][1] for (u, v) in pairs if u == sid}
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(sid, workload_factory, spec_pipes[sid][0],
+                  result_pipes[sid][1], up, down),
+            name=f"repro-shard-{sid}", daemon=True)
+        proc.start()
+        workers.append(proc)
+    spec = ShardSpec(shard_id=0, shards=plan.shards, until=until,
+                     quantum=quantum, config_kwargs=_config_kwargs(config),
+                     collect_sinks=collect_sinks,
+                     trace_watermarks=trace_watermarks)
+    for sid in range(plan.num_shards):
+        spec_pipes[sid][1].send(dataclasses.replace(spec, shard_id=sid))
+
+    bundles: Dict[int, Dict] = {}
+    try:
+        pending = {sid: result_pipes[sid][0]
+                   for sid in range(plan.num_shards)}
+        while pending:
+            ready = multiprocessing.connection.wait(
+                list(pending.values()), timeout=1.0)
+            if not ready:
+                for sid, proc in enumerate(workers):
+                    if sid not in bundles and proc.exitcode not in (None, 0):
+                        raise RuntimeError(
+                            f"shard {sid} worker died "
+                            f"(exit {proc.exitcode})")
+                continue
+            for conn in ready:
+                sid = next(s for s, c in pending.items() if c is conn)
+                status, payload = conn.recv()
+                if status == "err":
+                    raise RuntimeError(
+                        f"shard {sid} worker failed:\n{payload}")
+                bundles[sid] = payload
+                del pending[sid]
+        for proc in workers:
+            proc.join(timeout=30.0)
+    finally:
+        for proc in workers:
+            if proc.is_alive():
+                proc.terminate()
+    wall = time.perf_counter() - t0
+
+    ordered = [bundles[sid] for sid in range(plan.num_shards)]
+    view = _merge_views([b["view"] for b in ordered])
+
+    # Post-hoc flow-control certification: replay every cut channel's
+    # credit counter (sender-side debits vs receiver-side return times).
+    edge_of = {cid: f"{src}->{dst}"
+               for cid, src, dst, _ch in _enumerate_channels(probe_job)}
+    backpressure_safe, detail, flagged = _ledger_check(ordered, edge_of)
+
+    result = ShardedRunResult(
+        view, shards=plan.num_shards, plan=plan,
+        events_per_shard=[b["events_processed"] for b in ordered],
+        wall_s=wall,
+        worker_walls=[b["wall_s"] for b in ordered],
+        worker_cpus=[b.get("cpu_s", 0.0) for b in ordered],
+        backpressure_safe=backpressure_safe,
+        backpressure_detail=detail, until=until)
+    result._flagged_edges = flagged
+    return result
+
+
+def _ledger_check(bundles: List[Dict],
+                  edge_of: Optional[Dict[int, str]] = None,
+                  ) -> Tuple[bool, List[str], set]:
+    """Replay cut-channel credit counters from the workers' ledgers."""
+    capacity = bundles[0].get("inbox_capacity", 32) if bundles else 32
+    debits: Dict[int, List[Tuple[float, int]]] = {}
+    returns: Dict[int, List[float]] = {}
+    for b in bundles:
+        for cid, lst in b.get("credit_debits", {}).items():
+            debits.setdefault(cid, []).extend(lst)
+        for cid, lst in b.get("credit_returns", {}).items():
+            returns.setdefault(cid, []).extend(lst)
+    if not debits:
+        return True, [], set()
+    return _replay_credits(debits, returns, capacity, edge_of)

@@ -163,3 +163,90 @@ def test_simulator_rejects_unknown_scheduler():
         assert "unknown scheduler" in str(error)
     else:  # pragma: no cover
         raise AssertionError("expected an unknown-scheduler error")
+
+
+def test_all_same_bucket_cluster_shrinks_wheel():
+    """A zero-span cluster (every item the same time) after a wide phase:
+    rotation must shrink the wheel back down and keep the span-0 width
+    fallback, and ties still pop in seq order."""
+    cal = CalendarQueue()
+    wide = [(float(k) * 50.0, k, k) for k in range(6000)]
+    for item in wide:
+        cal.push(item)
+    # Drain the wide phase; the spacing-adaptive rotation grows the wheel.
+    out = [cal.pop() for _ in range(len(wide))]
+    assert out == wide
+    grown = cal._nbuckets
+    assert grown > 64
+    t0 = 1.0e6
+    cluster = [(t0, 10_000 + k, k) for k in range(40)]
+    for item in cluster:
+        cal.push(item)
+    assert cal.pop() == cluster[0]  # forces the rotation over the cluster
+    assert cal._nbuckets < grown    # wheel shrank for the small cluster
+    assert cal._width >= 1e-9       # span-0 fallback kept a positive width
+    assert [cal.pop() for _ in range(len(cluster) - 1)] == cluster[1:]
+    assert cal.pop() is None
+
+
+def test_exponential_spread_adapts_width_per_rotation():
+    """Exponentially spaced times past the rotation sample cap: each
+    rotation sees a different cluster spacing, so the width must re-adapt
+    (several rotations, several widths) and the drain stays sorted."""
+    items = [(1.01 ** k, k, k) for k in range(6000)]
+    rng = random.Random(23)
+    shuffled = items[:]
+    rng.shuffle(shuffled)
+    cal = CalendarQueue()
+    widths = set()
+    out = []
+    for item in shuffled:
+        cal.push(item)
+    for _ in range(len(items)):
+        out.append(cal.pop())
+        widths.add(cal._width)
+    assert out == items
+    assert cal.rotations > 1
+    assert len(widths) > 1  # width actually re-adapted across rotations
+
+
+def test_small_capacity_randomized_drain_matches_heap():
+    """Tiny wheels (down to one bucket) force a rotation nearly every
+    step; the drain must still match the heap item-for-item."""
+    for nbuckets, width, seed in ((1, 1e-6, 5), (2, 0.5, 6), (3, 1e3, 7),
+                                  (5, 1e-3, 8)):
+        rng = random.Random(seed)
+        heap = []
+        cal = CalendarQueue(width=width, nbuckets=nbuckets)
+        heap_out, cal_out = [], []
+        for seq in range(500):
+            t = rng.choice((0.0, rng.uniform(0.0, 1e-3),
+                            rng.uniform(0.0, 1.0), rng.uniform(0.0, 1e6)))
+            item = (t, seq, seq)
+            heapq.heappush(heap, item)
+            cal.push(item)
+            if rng.random() < 0.4:
+                heap_out.append(heapq.heappop(heap))
+                cal_out.append(cal.pop())
+        while heap:
+            heap_out.append(heapq.heappop(heap))
+            cal_out.append(cal.pop())
+        assert cal_out == heap_out
+        assert cal.pop() is None and len(cal) == 0
+
+
+def test_single_bucket_peek_pop_at_across_rotation():
+    """peek/pop_at/pop_le agree with a heap when every access rotates."""
+    cal = CalendarQueue(width=1e-9, nbuckets=1)
+    items = [(float(t), seq, seq) for seq, t in
+             enumerate((3.0, 1.0, 2.0, 1.0, 9.0))]
+    for item in items:
+        cal.push(item)
+    ordered = sorted(items)
+    assert cal.peek_time() == 1.0
+    assert cal.pop_at(0.5) is None
+    assert cal.pop_at(1.0) == ordered[0]
+    assert cal.pop_le(2.5) == ordered[1]
+    assert cal.peek_item() == ordered[2]
+    assert cal.pop_le(0.1) is None
+    assert [cal.pop() for _ in range(3)] == ordered[2:]
