@@ -487,7 +487,9 @@ def _cmd_chaos(args) -> int:
     reports = []
     for name in names:
         for seed in args.seed:
-            report = ChaosHarness(CHAOS_SCENARIOS[name], seed=seed).run()
+            report = ChaosHarness(
+                CHAOS_SCENARIOS[name], seed=seed,
+                state_backend=args.state_backend).run()
             reports.append(report)
             if not args.json:
                 print(report.summary())
@@ -638,6 +640,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="scenario name (default: every scenario)")
     p_chaos.add_argument("--seed", type=int, action="append", default=None,
                          help="seed(s) to run; repeatable (default: 7)")
+    p_chaos.add_argument("--state-backend", default=None,
+                         choices=("dict", "changelog"),
+                         help="force every scenario onto this keyed-state "
+                              "backend (default: each scenario's own; the "
+                              "report records which backend ran)")
     p_chaos.add_argument("--output",
                          help="save the invariant report as JSON here")
     p_chaos.add_argument("--json", action="store_true",

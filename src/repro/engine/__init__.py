@@ -18,8 +18,10 @@ from .records import (CheckpointBarrier, ControlSignal, EndOfStream,
                       LatencyMarker, Record, StreamElement, Watermark)
 from .routing import OutputEdge, OutputRouter, Partitioning
 from .runtime import JobConfig, SourceInstance, StreamJob
-from .state import (KeyedStateBackend, KeyGroupState, StateStatus,
-                    StateTransferCostModel)
+from .state import (ChangelogChainError, ChangelogSegment,
+                    ChangelogStateBackend, DictStateBackend,
+                    KeyedStateBackend, KeyGroupState, StateBackend,
+                    StateStatus, StateTransferCostModel)
 from .windows import SlidingWindowAggregateLogic, WindowedJoinLogic
 
 __all__ = [
@@ -38,7 +40,8 @@ __all__ = [
     "OutputEdge", "OutputRouter", "Partitioning",
     "JobConfig", "SourceInstance", "StreamJob",
     "RecoveryError", "RecoveryManager",
-    "KeyedStateBackend", "KeyGroupState", "StateStatus",
-    "StateTransferCostModel",
+    "ChangelogChainError", "ChangelogSegment", "ChangelogStateBackend",
+    "DictStateBackend", "KeyedStateBackend", "KeyGroupState",
+    "StateBackend", "StateStatus", "StateTransferCostModel",
     "SlidingWindowAggregateLogic", "WindowedJoinLogic",
 ]

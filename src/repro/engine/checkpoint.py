@@ -28,6 +28,14 @@ class CheckpointCoordinator:
       has taken its snapshot for that id (observed via the job's
       snapshot-listener hook), i.e. when the checkpoint is actually usable
       for recovery.
+
+    With an incremental (changelog) backend a snapshot only *cuts* the
+    delta segment — the bytes still have to reach durable storage.  The
+    coordinator therefore also tracks the job's asynchronous uploads and
+    declares a checkpoint complete only once every instance has both
+    snapshotted *and* finished uploading its segment (delta-chain
+    completeness: a checkpoint whose tail segment never landed must not
+    be restored from).
     """
 
     def __init__(self, job: StreamJob, interval: float):
@@ -72,15 +80,38 @@ class CheckpointCoordinator:
         if not self._installed:
             self._installed = True
             self.job.snapshot_listeners.append(self._on_snapshot)
+            self.job.upload_listeners.append(self._on_upload)
 
     def _on_snapshot(self, instance, barrier: CheckpointBarrier) -> None:
         seen = self._pending.setdefault(barrier.checkpoint_id, set())
         seen.add(instance.name)
+        self._maybe_complete(barrier.checkpoint_id)
+
+    def _on_upload(self, instance_name: str, checkpoint_id: int,
+                   segment) -> None:
+        # A landing upload can unblock *later* checkpoints too (their
+        # delta chains reference every earlier segment), so re-check all
+        # pending ids oldest-first.  Ids already completed or discarded
+        # are ignored.
+        for cid in sorted(self._pending):
+            self._maybe_complete(cid)
+
+    def _maybe_complete(self, checkpoint_id: int) -> None:
+        seen = self._pending.get(checkpoint_id)
+        if seen is None:
+            return
         needed = {inst.name for inst in self.job.all_instances()
                   if inst.running or inst.paused}
-        if seen >= needed:
-            del self._pending[barrier.checkpoint_id]
-            self.completed.append((self.job.sim.now, barrier.checkpoint_id))
+        if not seen >= needed:
+            return
+        if any(cid <= checkpoint_id
+               for _, cid in self.job.pending_uploads):
+            # A checkpoint's delta chain references every earlier
+            # segment, so it is durable only once all uploads up to and
+            # including its own id have landed.
+            return
+        del self._pending[checkpoint_id]
+        self.completed.append((self.job.sim.now, checkpoint_id))
 
     def _loop(self):
         while self._running:

@@ -339,7 +339,9 @@ class OperatorInstance:
         self.logic: OperatorLogic = spec.logic_factory()
         self.input_channels: List[InputChannel] = []
         self.router = OutputRouter(self)
-        self.state = KeyedStateBackend(bytes_per_entry=spec.bytes_per_entry)
+        make_backend = getattr(job, "make_state_backend", None)
+        self.state = (make_backend(spec) if make_backend is not None else
+                      KeyedStateBackend(bytes_per_entry=spec.bytes_per_entry))
         # Edge-triggered: safe because _run re-checks every wake condition
         # at the top of each iteration before parking (see EdgeWake docs).
         self.wake = EdgeWake(sim)

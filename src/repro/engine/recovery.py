@@ -39,7 +39,7 @@ from .keys import KeyGroupAssignment
 from .operators import OperatorInstance
 from .records import CheckpointBarrier
 from .runtime import SourceInstance, StreamJob
-from .state import KeyGroupState, StateStatus
+from .state import ChangelogChainError, KeyGroupState, StateStatus
 
 __all__ = ["RecoveryManager", "RecoveryError"]
 
@@ -94,6 +94,12 @@ class _Checkpoint:
     #: a re-injected record re-processed after a first restore must not be
     #: queued twice for the next).
     pending_ids: set = field(default_factory=set)
+    #: Changelog backends only: the delta segment each instance cut for
+    #: this checkpoint (instance name -> ChangelogSegment).  The chain of
+    #: segments back to the nearest anchor is what a restore must re-read;
+    #: the checkpoint is complete only once every segment's asynchronous
+    #: upload has landed.
+    segments: Dict[str, object] = field(default_factory=dict)
 
 
 class RecoveryManager:
@@ -113,6 +119,14 @@ class RecoveryManager:
         #: history older than the oldest retained checkpoint is trimmed.
         self.retain_checkpoints = retain_checkpoints
         self._checkpoints: Dict[int, _Checkpoint] = {}
+        #: Changelog segment store, ``(instance name, checkpoint id) ->
+        #: ChangelogSegment``.  Deliberately *not* tied to checkpoint
+        #: lifetime: a segment outlives its own checkpoint for as long as
+        #: any retained checkpoint's delta chain runs through it (e.g. the
+        #: anchoring full image of a checkpoint whose upload was slow and
+        #: which was superseded before completing).  Pruned only below the
+        #: newest anchor the oldest retained checkpoint can reach.
+        self._segments: Dict[Tuple[str, int], object] = {}
         #: Retained checkpoint ids, ascending (iteration newest-first).
         self._cids: List[int] = []
         #: Ids of retained checkpoints that are still aligning — the only
@@ -138,6 +152,7 @@ class RecoveryManager:
         self.job.flight_landed_hook = self._on_flight_landed
         self.job.record_capture_listener = self._on_record
         self.job.aux_hold_hook = self._should_hold_aux
+        self.job.upload_listeners.append(self._on_upload)
         for source in self.job.sources():
             source.enable_replay_history()
         return self
@@ -215,8 +230,44 @@ class RecoveryManager:
                                 StateStatus.INCOMING):
                 continue
             checkpoint.folded.setdefault((op_name, kg), instance.name)
+        # Changelog backends: adopt the delta segment the runtime cut for
+        # this snapshot (the cut happens before the listeners fire, so it
+        # is always registered by now).
+        segment = self.job.changelog_segments.pop(
+            (instance.name, barrier.checkpoint_id), None)
+        if segment is not None:
+            checkpoint.segments[instance.name] = segment
+            self._segments[(instance.name, barrier.checkpoint_id)] = \
+                segment
         checkpoint.snapshots[instance.name] = snapshot
-        if self._covers_everything(checkpoint):
+        self._maybe_complete(checkpoint)
+
+    def _on_upload(self, instance_name: str, checkpoint_id: int,
+                   segment) -> None:
+        """An asynchronous segment upload landed — re-check completeness.
+
+        A landing upload can unblock *later* checkpoints too (their delta
+        chains reference every earlier segment), so every still-open
+        checkpoint is re-checked oldest-first.  Uploads for checkpoints
+        already completed, pruned, or discarded (incomplete at a restore)
+        are ignored."""
+        for cid in sorted(self._checkpoints):
+            checkpoint = self._checkpoints.get(cid)
+            if checkpoint is None or checkpoint.completed_at is not None:
+                continue
+            self._maybe_complete(checkpoint)
+
+    def _uploads_done(self, checkpoint: _Checkpoint) -> bool:
+        # The checkpoint's delta chain references every earlier segment,
+        # so it is durable only once all uploads up to and including its
+        # own id have landed.
+        cid = checkpoint.checkpoint_id
+        return not any(pending_cid <= cid
+                       for _, pending_cid in self.job.pending_uploads)
+
+    def _maybe_complete(self, checkpoint: _Checkpoint) -> None:
+        if (self._covers_everything(checkpoint)
+                and self._uploads_done(checkpoint)):
             checkpoint.completed_at = self.job.sim.now
             self._prune()
             self._reindex()
@@ -347,6 +398,24 @@ class RecoveryManager:
             snapshot = oldest_ckpt.snapshots.get(source.name)
             if snapshot is not None and snapshot.source_offset is not None:
                 source.trim_history_before(snapshot.source_offset)
+        # Changelog segments below the newest anchor the oldest retained
+        # checkpoint can reach are unreachable from every restorable
+        # chain — drop them.  Segments *between* that anchor and the
+        # oldest retained checkpoint stay, even when their own checkpoint
+        # is long gone.
+        for name in {name for name, _cid in self._segments}:
+            cids = sorted(cid for n, cid in self._segments if n == name)
+            anchor = None
+            for cid in cids:
+                if cid > oldest:
+                    break
+                if self._segments[(name, cid)].anchors_chain:
+                    anchor = cid
+            if anchor is None:
+                continue
+            for cid in cids:
+                if cid < anchor:
+                    del self._segments[(name, cid)]
 
     # -- queries --------------------------------------------------------------------
 
@@ -359,6 +428,32 @@ class RecoveryManager:
     def checkpoint(self, checkpoint_id: int) -> Optional[_Checkpoint]:
         """A retained checkpoint by id (None once pruned)."""
         return self._checkpoints.get(checkpoint_id)
+
+    def restore_chain(self, checkpoint: _Checkpoint,
+                      instance_name: str) -> List[object]:
+        """The delta chain a restore of ``instance_name`` must replay.
+
+        Walks the segment store newest-to-oldest from ``checkpoint``
+        collecting the instance's segments until one anchors the chain
+        (whole-state image, or the beginning of history).  Raises
+        :class:`~repro.engine.state.ChangelogChainError` when no anchor is
+        reachable — an incomplete chain must never be restored from.
+        """
+        chain: List[object] = []
+        cids = sorted((cid for name, cid in self._segments
+                       if name == instance_name), reverse=True)
+        for cid in cids:
+            if cid > checkpoint.checkpoint_id:
+                continue
+            segment = self._segments[(instance_name, cid)]
+            chain.append(segment)
+            if segment.anchors_chain:
+                chain.reverse()
+                return chain
+        raise ChangelogChainError(
+            f"no anchoring segment for {instance_name} within retained "
+            f"checkpoints (chain ending at checkpoint "
+            f"{checkpoint.checkpoint_id} is incomplete)")
 
     # -- recovery ---------------------------------------------------------------------
 
@@ -512,6 +607,12 @@ class RecoveryManager:
             if self._checkpoints[cid].completed_at is None:
                 del self._checkpoints[cid]
         self._reindex()
+        # Segments newer than the restore point belong to those discarded
+        # cuts; post-restore backends re-anchor (``restart_changelog``),
+        # so the pre-crash tail must not shadow the fresh chain.
+        for name, cid in list(self._segments):
+            if cid > checkpoint.checkpoint_id:
+                del self._segments[(name, cid)]
 
         # 1b. Sweep alignment-free lanes (re-route channels, rollback
         # queues, re-route manager buffers) for stranded *pre-cut* records
@@ -571,8 +672,22 @@ class RecoveryManager:
             instance._pending_checkpoint.clear()
             snapshot = checkpoint.snapshots.get(instance.name)
             if snapshot is not None:
-                total_bytes += sum(g.size_bytes
-                                   for g in snapshot.state.values())
+                full_bytes = sum(g.size_bytes
+                                 for g in snapshot.state.values())
+                if getattr(instance.state, "is_incremental", False):
+                    # Local recovery: the materialized base is durable and
+                    # locally available — restore re-reads only the delta
+                    # tail back to the nearest anchor.  A broken chain
+                    # falls back to the full-state cost.
+                    try:
+                        chain = self.restore_chain(checkpoint,
+                                                   instance.name)
+                    except ChangelogChainError:
+                        chain = None
+                    if chain is not None:
+                        full_bytes = min(full_bytes, sum(
+                            seg.restore_tail_bytes for seg in chain))
+                total_bytes += full_bytes
         job.inflight_state.clear()
 
         # 2. Restart + restore costs.
@@ -600,6 +715,8 @@ class RecoveryManager:
                 # routed records under the restored assignment.
                 if instance.spec.keyed:
                     instance.state._groups = {}
+                    if hasattr(instance.state, "restart_changelog"):
+                        instance.state.restart_changelog()
                 continue
             restored = {}
             for kg, group in snapshot.state.items():
@@ -621,6 +738,11 @@ class RecoveryManager:
                         restored[kg] = KeyGroupState(
                             key_group=kg, status=StateStatus.LOCAL)
             instance.state._groups = restored
+            if hasattr(instance.state, "restart_changelog"):
+                # Re-anchor: the pre-failure log is meaningless against
+                # the restored state; the next cut carries a whole-state
+                # image so later chains anchor past the restore.
+                instance.state.restart_changelog()
             instance.current_watermark = float("-inf")
             for input_channel in instance.input_channels:
                 if not input_channel.is_auxiliary:

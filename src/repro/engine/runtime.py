@@ -67,6 +67,18 @@ class JobConfig:
     #: (calendar-queue / bucketed wheel — same dispatch order
     #: bit-identically, faster at paper-scale timer populations).
     scheduler: str = "heap"
+    #: Keyed state backend: ``"dict"`` (reference full-copy store,
+    #: synchronous checkpoint cost proportional to state size) or
+    #: ``"changelog"`` (append-only delta logs; checkpoints cut delta
+    #: segments uploaded asynchronously off the barrier path, so the
+    #: synchronous barrier cost is a small constant manifest).
+    state_backend: str = "dict"
+    #: Changelog backends fold their logs into a durable base every this
+    #: many mutations (bounds the delta tail a restore must replay).
+    changelog_materialize_interval: int = 4096
+    #: Hard per-group log bound for changelog backends — exceeding it
+    #: forces a materialization (truncation).
+    changelog_max_log_entries: int = 8192
     #: Worker processes for the sharded multi-process kernel
     #: (:mod:`repro.simulation.sharded`).  ``1`` (the default) runs the
     #: ordinary single-process kernel; ``None`` reads ``REPRO_SHARDS``
@@ -79,6 +91,7 @@ class JobConfig:
     #: by :class:`~..experiments.harness.ExperimentConfig` overrides).
     RECORD_PLANES = ("batched", "single", "columnar")
     SCHEDULERS = ("heap", "calendar")
+    STATE_BACKENDS = ("dict", "changelog")
     MAX_BATCH_SIZE_LIMIT = 4096
     MAX_SHARDS = 64
 
@@ -87,6 +100,22 @@ class JobConfig:
             raise ValueError(
                 f"unknown record_plane: {self.record_plane!r} "
                 f"(expected one of: {', '.join(self.RECORD_PLANES)})")
+        if self.state_backend not in self.STATE_BACKENDS:
+            raise ValueError(
+                f"unknown state_backend: {self.state_backend!r} "
+                f"(expected one of: {', '.join(self.STATE_BACKENDS)})")
+        if (not isinstance(self.changelog_materialize_interval, int)
+                or isinstance(self.changelog_materialize_interval, bool)
+                or self.changelog_materialize_interval < 1):
+            raise ValueError(
+                "changelog_materialize_interval must be a positive "
+                f"integer, got {self.changelog_materialize_interval!r}")
+        if (not isinstance(self.changelog_max_log_entries, int)
+                or isinstance(self.changelog_max_log_entries, bool)
+                or self.changelog_max_log_entries < 1):
+            raise ValueError(
+                "changelog_max_log_entries must be a positive integer, "
+                f"got {self.changelog_max_log_entries!r}")
         if self.scheduler not in self.SCHEDULERS:
             raise ValueError(
                 f"unknown scheduler: {self.scheduler!r} "
@@ -350,6 +379,21 @@ class StreamJob:
         #: transfer-stall point.  None (the default) costs one attribute
         #: load and draws no events.
         self.transfer_fault_hook = None
+        #: Optional hook ``(instance, segment) -> extra_seconds`` invoked
+        #: while an asynchronous changelog-segment upload is in flight —
+        #: the fault injector's upload-stall point.
+        self.checkpoint_upload_hook = None
+        #: Changelog delta segments cut at snapshot time:
+        #: ``(instance name, checkpoint id) -> ChangelogSegment``.  Only
+        #: populated by incremental backends.
+        self.changelog_segments: Dict[Tuple[str, int], object] = {}
+        #: Segments cut but whose asynchronous upload has not finished —
+        #: a checkpoint is not complete while any of its keys are here.
+        self.pending_uploads: set = set()
+        #: Observers ``(instance_name, checkpoint_id, segment)`` called
+        #: when an asynchronous segment upload finishes (the coordinator's
+        #: and RecoveryManager's completion re-check point).
+        self.upload_listeners: List = []
         #: Event set by the RecoveryManager for the duration of a recovery
         #: (pause → restore → resume); scaling retries wait on it so they
         #: do not race the restore.  None when no recovery is in flight.
@@ -688,13 +732,31 @@ class StreamJob:
                      b: OperatorInstance) -> LinkSpec:
         return self.cluster.link(a.node.name, b.node.name)
 
-    # -- checkpoint support -------------------------------------------------------
+    # -- state backends & checkpoint support --------------------------------------
+
+    def make_state_backend(self, spec):
+        """Build the configured keyed-state backend for one instance."""
+        from .state import ChangelogStateBackend, DictStateBackend
+        if self.config.state_backend == "changelog":
+            return ChangelogStateBackend(
+                bytes_per_entry=spec.bytes_per_entry,
+                materialize_interval=(
+                    self.config.changelog_materialize_interval),
+                max_log_entries=self.config.changelog_max_log_entries)
+        return DictStateBackend(bytes_per_entry=spec.bytes_per_entry)
 
     def checkpoint_sync_cost(self, instance: OperatorInstance) -> float:
-        bytes_ = instance.state.total_bytes()
-        if bytes_ <= 0:
+        """Seconds the barrier path blocks while the snapshot is cut.
+
+        Full-copy backends serialize the whole state synchronously;
+        incremental backends write a constant-size manifest and move the
+        real bytes asynchronously (:meth:`_upload_segment`)."""
+        state = instance.state
+        sync_bytes = getattr(state, "checkpoint_sync_bytes",
+                             state.total_bytes)()
+        if sync_bytes <= 0:
             return 0.0
-        full = bytes_ / self.config.snapshot_bandwidth
+        full = sync_bytes / self.config.snapshot_bandwidth
         return full * self.config.snapshot_sync_fraction
 
     def note_snapshot(self, instance: OperatorInstance,
@@ -706,10 +768,51 @@ class StreamJob:
                 "checkpoint.snapshot", category="checkpoint",
                 track=instance.name, checkpoint_id=barrier.checkpoint_id,
                 state_bytes=instance.state.total_bytes())
+        # Cut + launch the async upload *before* the listeners run, so the
+        # coordinator and RecoveryManager observe the pending upload when
+        # they evaluate checkpoint completeness.
+        if getattr(instance.state, "is_incremental", False):
+            segment = instance.state.cut_segment(barrier.checkpoint_id)
+            key = (instance.name, barrier.checkpoint_id)
+            self.changelog_segments[key] = segment
+            self.pending_uploads.add(key)
+            self.sim.spawn(self._upload_segment(instance, segment))
         if self.snapshot_listener is not None:
             self.snapshot_listener(instance, barrier)
         for listener in self.snapshot_listeners:
             listener(instance, barrier)
+
+    def _upload_segment(self, instance: OperatorInstance, segment):
+        """Asynchronously ship one delta segment to durable storage.
+
+        Upload time follows the cluster's default link through the
+        transfer cost model, off the barrier path; the checkpoint
+        completes only once every instance's segment has landed."""
+        link = self.cluster.default_link
+        cost = self.config.transfer.transfer_seconds(
+            segment.delta_bytes, link.bandwidth, link.latency)
+        span = None
+        if self.telemetry is not None:
+            span = self.telemetry.tracer.begin(
+                "checkpoint.upload", category="checkpoint",
+                track=instance.name, checkpoint_id=segment.checkpoint_id,
+                delta_bytes=segment.delta_bytes)
+        if cost > 0:
+            yield cost
+        hook = self.checkpoint_upload_hook
+        if hook is not None:
+            extra = hook(instance, segment)
+            if extra and extra > 0:
+                yield extra
+        if span is not None:
+            self.telemetry.tracer.end(span)
+        key = (instance.name, segment.checkpoint_id)
+        self.pending_uploads.discard(key)
+        for listener in self.upload_listeners:
+            listener(instance.name, segment.checkpoint_id, segment)
+        # Listeners that retain segments (RecoveryManager) adopt them at
+        # snapshot time; anything left here is nobody's — drop it.
+        self.changelog_segments.pop(key, None)
 
     @property
     def snapshots(self) -> List[Tuple[float, str, int]]:

@@ -18,6 +18,19 @@ lifecycle on both ends:
 Sub-key-groups (used by the Meces baseline's Hierarchical State
 Organization) divide one key-group into equal slices that can be fetched
 independently.
+
+Storage itself is pluggable behind :class:`StateBackend`:
+
+* :class:`DictStateBackend` — the reference in-memory store (full-copy
+  snapshots; checkpoints pay for the whole state on the barrier path).
+  ``KeyedStateBackend`` remains as a compatibility alias.
+* :class:`ChangelogStateBackend` — log-structured: every mutation appends
+  to a per-key-group changelog; checkpoints cut *delta segments* (only
+  what changed since the previous cut) that are uploaded asynchronously
+  off the barrier path, and a background *materialization* periodically
+  folds the log into a durable base so the log — and with it the
+  recovery-time delta tail — stays bounded.  Restore replays
+  materialized base + delta tail (:meth:`ChangelogStateBackend.replay_chain`).
 """
 
 from __future__ import annotations
@@ -25,12 +38,17 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = [
     "StateStatus",
     "KeyGroupState",
+    "StateBackend",
+    "DictStateBackend",
     "KeyedStateBackend",
+    "ChangelogStateBackend",
+    "ChangelogSegment",
+    "ChangelogChainError",
     "StateTransferCostModel",
 ]
 
@@ -77,8 +95,89 @@ class KeyGroupState:
         self.version = next(_versions)
 
 
-class KeyedStateBackend:
-    """Per-instance keyed state store, organised by key-group."""
+class StateBackend:
+    """Abstract per-instance keyed state store, organised by key-group.
+
+    Concrete backends must provide the full ownership / value-access /
+    aggregate surface below.  The two checkpoint-facing hooks are what
+    distinguish backends:
+
+    * :meth:`checkpoint_sync_bytes` — bytes charged *synchronously* on the
+      barrier path when a checkpoint barrier aligns.  Full-copy backends
+      pay the whole state; incremental backends pay a small constant
+      manifest and move the real bytes asynchronously.
+    * :attr:`is_incremental` — whether checkpoints are cut as delta
+      segments that must be uploaded (and chained) before the checkpoint
+      can complete.
+    """
+
+    #: Stable identifier used by config plumbing and reports.
+    name = "abstract"
+    #: Incremental backends cut delta segments + async uploads.
+    is_incremental = False
+
+    # -- ownership ------------------------------------------------------------
+    def register_group(self, key_group: int,
+                       status: StateStatus = StateStatus.LOCAL,
+                       size_bytes: float = 0.0) -> KeyGroupState:
+        raise NotImplementedError
+
+    def group(self, key_group: int) -> Optional[KeyGroupState]:
+        raise NotImplementedError
+
+    def require_group(self, key_group: int) -> KeyGroupState:
+        raise NotImplementedError
+
+    def drop_group(self, key_group: int) -> KeyGroupState:
+        raise NotImplementedError
+
+    def install_group(self, key_group: int, entries: Dict[Any, Any],
+                      size_bytes: float,
+                      status: StateStatus = StateStatus.LOCAL,
+                      sub_groups_present: Optional[set] = None
+                      ) -> KeyGroupState:
+        raise NotImplementedError
+
+    def groups(self) -> List[KeyGroupState]:
+        raise NotImplementedError
+
+    def owned_groups(self) -> List[int]:
+        raise NotImplementedError
+
+    def has_processable(self, key_group: int) -> bool:
+        raise NotImplementedError
+
+    # -- value access (used by operator logics) -------------------------------
+    def get(self, key_group: int, key: Any, default: Any = None) -> Any:
+        raise NotImplementedError
+
+    def put(self, key_group: int, key: Any, value: Any) -> None:
+        raise NotImplementedError
+
+    def delete(self, key_group: int, key: Any) -> None:
+        raise NotImplementedError
+
+    def add_bytes(self, key_group: int, delta: float) -> None:
+        raise NotImplementedError
+
+    # -- aggregates -----------------------------------------------------------
+    def total_bytes(self) -> float:
+        raise NotImplementedError
+
+    def snapshot(self) -> Dict[int, KeyGroupState]:
+        raise NotImplementedError
+
+    # -- checkpoint surface ---------------------------------------------------
+    def checkpoint_sync_bytes(self) -> float:
+        """Bytes serialized synchronously on the barrier path."""
+        return self.total_bytes()
+
+
+class DictStateBackend(StateBackend):
+    """Reference in-memory store: full-copy snapshots, synchronous
+    checkpoint cost proportional to total state size."""
+
+    name = "dict"
 
     def __init__(self, bytes_per_entry: float = 256.0):
         self.bytes_per_entry = bytes_per_entry
@@ -181,6 +280,296 @@ class KeyedStateBackend:
                 entries=dict(group.entries),
             )
         return copied
+
+
+#: Backwards-compatible alias: the concrete backend historically exposed
+#: under this name.  New code should pick a backend explicitly.
+KeyedStateBackend = DictStateBackend
+
+
+class ChangelogChainError(RuntimeError):
+    """A delta chain cannot be replayed (gap or missing anchor)."""
+
+
+@dataclass
+class ChangelogSegment:
+    """The delta cut for one checkpoint on one instance.
+
+    ``groups`` maps key-group → payload, one of::
+
+        ("full",  entries_copy, size_bytes, status)   # whole-group image
+        ("deltas", [op, ...])                         # ops since last cut
+        ("drop",)                                     # group vanished
+
+    where each op is ``("put", key, value, size_delta)``,
+    ``("del", key, size_delta)`` or ``("bytes", delta)``.
+
+    ``delta_bytes`` is what the asynchronous upload must move;
+    ``restore_tail_bytes`` is what a restore must re-read and replay —
+    full-group images count only a small manifest there because the
+    materialized base is durable and locally recoverable.
+    """
+
+    checkpoint_id: int
+    seq_from: int
+    seq_to: int
+    groups: Dict[int, tuple]
+    delta_bytes: float
+    restore_tail_bytes: float
+    #: True when the segment carries a whole-state image (every live
+    #: group as a ``full`` payload) — a valid chain anchor.
+    full_base: bool
+
+    @property
+    def anchors_chain(self) -> bool:
+        return self.full_base or self.seq_from == 0
+
+
+class ChangelogStateBackend(DictStateBackend):
+    """Log-structured backend: per-key-group append-only changelogs.
+
+    Every mutation appends an op to the owning group's log.  A checkpoint
+    *cut* (:meth:`cut_segment`) captures the ops since the previous cut as
+    a :class:`ChangelogSegment`; the runtime uploads segments
+    asynchronously off the barrier path, so the synchronous barrier cost
+    (:meth:`checkpoint_sync_bytes`) is a small constant manifest
+    regardless of state size.
+
+    *Materialization* periodically folds the log into a durable base
+    (modeled: the live entries at that instant become the base), clears
+    the logs, and flags every group so the next cut re-uploads it as a
+    whole-group image — bounding both the log length and the delta tail a
+    restore must replay.  It triggers automatically every
+    ``materialize_interval`` mutations, or sooner when any single group's
+    log exceeds ``max_log_entries`` (truncation bound).
+
+    Bulk mutations that bypass the logging surface (scaling controllers
+    replace ``group.entries`` wholesale) are caught by the
+    :attr:`KeyGroupState.version` contract: any wholesale replace bumps
+    the version, and a version observed to have changed since the last
+    cut forces a whole-group image instead of an unsound delta replay.
+    """
+
+    name = "changelog"
+    is_incremental = True
+    #: Synchronous barrier-path cost: the checkpoint manifest (constant).
+    MANIFEST_BYTES = 65536.0
+
+    def __init__(self, bytes_per_entry: float = 256.0,
+                 materialize_interval: int = 4096,
+                 max_log_entries: int = 8192):
+        super().__init__(bytes_per_entry=bytes_per_entry)
+        if materialize_interval < 1:
+            raise ValueError("materialize_interval must be >= 1")
+        self.materialize_interval = int(materialize_interval)
+        self.max_log_entries = int(max_log_entries)
+        #: Global op counter — segment seq ranges chain on it.
+        self._seq = 0
+        self._last_cut_seq = 0
+        #: Per-group ops since the last materialization.
+        self._log: Dict[int, List[tuple]] = {}
+        #: Per-group op index (into the global seq) of each group's first
+        #: un-cut op: ops with seq > _last_cut_seq belong to the next cut.
+        self._log_seqs: Dict[int, List[int]] = {}
+        self._log_bytes: Dict[int, float] = {}
+        #: Version each group had when last captured (cut or materialize);
+        #: a mismatch at cut time means out-of-band bulk mutation.
+        self._cut_versions: Dict[int, int] = {}
+        #: Groups whose next cut must carry a whole-group image.
+        self._pending_full: set = set()
+        self._mutations_since_materialize = 0
+        self.materializations = 0
+        #: Version at which each group's base is durably captured —
+        #: gates the changelog-tail migration fast path.
+        self._durable_versions: Dict[int, int] = {}
+
+    # -- logging mutations ----------------------------------------------------
+
+    def _append(self, key_group: int, op: tuple, cost: float) -> None:
+        self._seq += 1
+        self._log.setdefault(key_group, []).append(op)
+        self._log_seqs.setdefault(key_group, []).append(self._seq)
+        self._log_bytes[key_group] = self._log_bytes.get(key_group, 0.0) + cost
+        self._mutations_since_materialize += 1
+        if (self._mutations_since_materialize >= self.materialize_interval
+                or len(self._log[key_group]) > self.max_log_entries):
+            self.materialize()
+
+    def put(self, key_group: int, key: Any, value: Any) -> None:
+        group = self._groups.get(key_group)
+        new_key = group is None or key not in group.entries
+        super().put(key_group, key, value)
+        delta = self.bytes_per_entry if new_key else 0.0
+        self._append(key_group, ("put", key, value, delta),
+                     self.bytes_per_entry)
+
+    def delete(self, key_group: int, key: Any) -> None:
+        group = self._groups.get(key_group)
+        if group is None or key not in group.entries:
+            return
+        super().delete(key_group, key)
+        self._append(key_group, ("del", key, -self.bytes_per_entry),
+                     self.bytes_per_entry)
+
+    def add_bytes(self, key_group: int, delta: float) -> None:
+        super().add_bytes(key_group, delta)
+        self._append(key_group, ("bytes", delta), abs(delta))
+
+    # -- materialization & truncation ----------------------------------------
+
+    def materialize(self) -> None:
+        """Fold the logs into a durable base (the live entries at this
+        instant) and clear them; the next cut re-anchors the chain with
+        whole-group images."""
+        self._log.clear()
+        self._log_seqs.clear()
+        self._log_bytes.clear()
+        self._pending_full = set(self._groups)
+        self._mutations_since_materialize = 0
+        self.materializations += 1
+        for kg, group in self._groups.items():
+            self._durable_versions[kg] = group.version
+            self._cut_versions[kg] = group.version
+
+    def restart_changelog(self) -> None:
+        """Re-anchor after a restore: discard any pre-failure log state so
+        the next cut carries a whole-state image."""
+        self.materialize()
+
+    def log_length(self, key_group: int) -> int:
+        return len(self._log.get(key_group, ()))
+
+    # -- checkpoint cuts ------------------------------------------------------
+
+    def checkpoint_sync_bytes(self) -> float:
+        return self.MANIFEST_BYTES
+
+    def cut_segment(self, checkpoint_id: int) -> ChangelogSegment:
+        """Capture everything since the previous cut as a delta segment."""
+        groups: Dict[int, tuple] = {}
+        delta_bytes = 0.0
+        restore_tail = 0.0
+        seq_from = self._last_cut_seq
+        seq_to = self._seq
+        live = set(self._groups)
+        for kg, group in self._groups.items():
+            version_break = self._cut_versions.get(kg, -1) != group.version
+            ops = []
+            op_bytes = 0.0
+            log, seqs = self._log.get(kg), self._log_seqs.get(kg)
+            if log:
+                for op, seq in zip(log, seqs):
+                    if seq > seq_from:
+                        ops.append(op)
+                        op_bytes += (abs(op[1]) if op[0] == "bytes"
+                                     else self.bytes_per_entry)
+            if kg in self._pending_full or version_break:
+                groups[kg] = ("full", dict(group.entries),
+                              group.size_bytes, group.status)
+                delta_bytes += group.size_bytes + self.bytes_per_entry
+                # Base image becomes durable: restores read it locally.
+                restore_tail += self.bytes_per_entry
+                self._durable_versions[kg] = group.version
+            elif ops:
+                groups[kg] = ("deltas", ops)
+                delta_bytes += op_bytes
+                restore_tail += op_bytes
+            self._cut_versions[kg] = group.version
+        for kg in list(self._cut_versions):
+            if kg not in live:
+                groups[kg] = ("drop",)
+                del self._cut_versions[kg]
+                self._durable_versions.pop(kg, None)
+        full_base = bool(live) and all(
+            groups.get(kg, ("",))[0] == "full" for kg in live)
+        self._pending_full.clear()
+        self._last_cut_seq = seq_to
+        return ChangelogSegment(
+            checkpoint_id=checkpoint_id, seq_from=seq_from, seq_to=seq_to,
+            groups=groups, delta_bytes=delta_bytes,
+            restore_tail_bytes=restore_tail,
+            full_base=full_base or seq_from == 0)
+
+    # -- restore --------------------------------------------------------------
+
+    @staticmethod
+    def replay_chain(segments: List["ChangelogSegment"]
+                     ) -> Dict[int, KeyGroupState]:
+        """Rebuild keyed state from an ordered, contiguous delta chain.
+
+        Raises :class:`ChangelogChainError` on a seq gap or when the
+        first segment is neither a whole-state image nor the beginning of
+        history — an incomplete chain must never be silently replayed.
+        """
+        if not segments:
+            raise ChangelogChainError("empty delta chain")
+        if not segments[0].anchors_chain:
+            raise ChangelogChainError(
+                f"chain does not anchor: first segment (checkpoint "
+                f"{segments[0].checkpoint_id}) starts at seq "
+                f"{segments[0].seq_from} and is not a full base")
+        for prev, nxt in zip(segments, segments[1:]):
+            if nxt.seq_from != prev.seq_to:
+                raise ChangelogChainError(
+                    f"chain gap between checkpoints {prev.checkpoint_id} "
+                    f"(..{prev.seq_to}) and {nxt.checkpoint_id} "
+                    f"({nxt.seq_from}..)")
+        state: Dict[int, KeyGroupState] = {}
+        for seg in segments:
+            for kg in sorted(seg.groups):
+                payload = seg.groups[kg]
+                kind = payload[0]
+                if kind == "full":
+                    _, entries, size, status = payload
+                    state[kg] = KeyGroupState(
+                        key_group=kg, status=status,
+                        size_bytes=size, entries=dict(entries))
+                elif kind == "drop":
+                    state.pop(kg, None)
+                elif kind == "deltas":
+                    group = state.get(kg)
+                    if group is None:
+                        group = KeyGroupState(key_group=kg)
+                        state[kg] = group
+                    for op in payload[1]:
+                        if op[0] == "put":
+                            _, key, value, size_delta = op
+                            group.entries[key] = value
+                            group.size_bytes += size_delta
+                        elif op[0] == "del":
+                            _, key, size_delta = op
+                            group.entries.pop(key, None)
+                            group.size_bytes = max(
+                                0.0, group.size_bytes + size_delta)
+                        else:  # ("bytes", delta)
+                            group.size_bytes = max(
+                                0.0, group.size_bytes + op[1])
+                else:
+                    raise ChangelogChainError(
+                        f"unknown payload kind {kind!r}")
+        return state
+
+    # -- migration fast path --------------------------------------------------
+
+    def changelog_tail_bytes(self, key_group: int) -> Optional[float]:
+        """Bytes a migration must move when the destination can fetch the
+        durable base and replay only the tail — or None when no durable
+        base covers this group's current version (full transfer needed)."""
+        group = self._groups.get(key_group)
+        if group is None:
+            return None
+        if self._durable_versions.get(key_group) != group.version:
+            return None
+        # Ops up to the last cut live in uploaded segments — durable like
+        # the base.  Only the un-cut tail has to ride the wire.
+        tail = 0.0
+        log = self._log.get(key_group)
+        if log:
+            for op, seq in zip(log, self._log_seqs[key_group]):
+                if seq > self._last_cut_seq:
+                    tail += (abs(op[1]) if op[0] == "bytes"
+                             else self.bytes_per_entry)
+        return tail + self.bytes_per_entry
 
 
 @dataclass

@@ -28,28 +28,41 @@ Design notes on the fault/checkpoint interplay the scenarios encode:
 
 from __future__ import annotations
 
-from typing import Dict, List
+import dataclasses
+from typing import Dict, List, Optional
 
-from ..engine import (CheckpointCoordinator, JobGraph, KeyedReduceLogic,
-                      OperatorSpec, Partitioning, Record, StreamJob,
-                      Watermark)
+from ..engine import (CheckpointCoordinator, JobConfig, JobGraph,
+                      KeyedReduceLogic, OperatorSpec, Partitioning, Record,
+                      StateTransferCostModel, StreamJob, Watermark)
 from ..engine.recovery import RecoveryManager
 from ..faults import (ChaosScenario, ChaosSetup, CrashInstance,
                       DelayRecords, DropRecords, DuplicateRecords,
-                      FaultInjector, StallTransfers)
+                      FaultInjector, StallTransfers, StallUploads)
 
 __all__ = ["CHAOS_SCENARIOS", "chaos_scenario"]
+
+
+def _config_with_backend(job_config, state_backend: Optional[str]):
+    """Overlay a state-backend choice on an (optional) JobConfig."""
+    if state_backend is None:
+        return job_config
+    if job_config is None:
+        return JobConfig(state_backend=state_backend)
+    return dataclasses.replace(job_config, state_backend=state_backend)
 
 
 def _keyed_job(stop_at: float, num_key_groups: int = 16,
                parallelism: int = 2, keys: int = 24,
                state_bytes_per_group: float = 2e6,
-               gap: float = 0.01, job_config=None):
+               gap: float = 0.01, job_config=None,
+               state_backend: Optional[str] = None):
     """source → keyed sum → sink plus a counting oracle.
 
     The generator tallies ``produced[key]`` as it offers records, so the
     oracle survives replay-history trimming and is blind to every fault
-    downstream of the source.
+    downstream of the source.  The sink collects its input so the
+    semantic trace (backend-equivalence invariant) can diff per-key final
+    sink values across backends.
     """
     graph = JobGraph("chaos", num_key_groups=num_key_groups)
     graph.add_source("src", parallelism=1, service_time=5e-5)
@@ -59,9 +72,10 @@ def _keyed_job(stop_at: float, num_key_groups: int = 16,
             lambda old, r: (old or 0) + r.count),
         parallelism=parallelism, service_time=2e-4, keyed=True,
         initial_state_bytes_per_group=state_bytes_per_group))
-    graph.add_sink("sink")
+    graph.add_sink("sink", collect=True)
     graph.connect("src", "agg", Partitioning.HASH)
     graph.connect("agg", "sink", Partitioning.FORWARD)
+    job_config = _config_with_backend(job_config, state_backend)
     job = StreamJob(graph, config=job_config).build()
     produced: Dict[str, int] = {}
 
@@ -126,7 +140,8 @@ def _expect_spans(job, want_rollback: bool = True,
 # -- scenarios ---------------------------------------------------------------
 
 
-def _crash_mid_subscale(seed: int, job_config=None) -> ChaosSetup:
+def _crash_mid_subscale(seed: int, job_config=None,
+                        state_backend: Optional[str] = None) -> ChaosSetup:
     """§IV-C acceptance: crash mid-subscale, recover from a checkpoint
     taken during the scaling operation, finish the rescale via retry.
 
@@ -137,9 +152,20 @@ def _crash_mid_subscale(seed: int, job_config=None) -> ChaosSetup:
     """
     from ..core.drrs import DRRSController
 
+    # A per-group coordination floor keeps the migration window wide
+    # under *both* backends: the changelog tail fast path shrinks the
+    # wire bytes to almost nothing, and without the floor the subscale
+    # would finish before the crash lands, voiding the scenario.
+    slow_handoff = StateTransferCostModel(handshake_seconds=0.35)
+    if job_config is None:
+        job_config = JobConfig(transfer=slow_handoff)
+    else:
+        job_config = dataclasses.replace(job_config,
+                                         transfer=slow_handoff)
     job, produced = _keyed_job(stop_at=14.0,
                                state_bytes_per_group=24e6,
-                               job_config=job_config)
+                               job_config=job_config,
+                               state_backend=state_backend)
     job.enable_telemetry()
     checkpoints = CheckpointCoordinator(job, interval=0.75)
     checkpoints.start()
@@ -172,7 +198,8 @@ def _crash_mid_subscale(seed: int, job_config=None) -> ChaosSetup:
                       oracle={"agg": produced}, expectations=[expect])
 
 
-def _autoscale_crash_mid_subscale(seed: int) -> ChaosSetup:
+def _autoscale_crash_mid_subscale(
+        seed: int, state_backend: Optional[str] = None) -> ChaosSetup:
     """Closed-loop acceptance: the *autoscaler* initiates the subscale
     (reacting to a load ramp), a phase-triggered crash lands while that
     subscale is moving state, DRRS aborts → rolls back → retries under
@@ -190,10 +217,12 @@ def _autoscale_crash_mid_subscale(seed: int) -> ChaosSetup:
             lambda old, r: (old or 0) + r.count),
         parallelism=2, service_time=2e-3, keyed=True,
         initial_state_bytes_per_group=8e6))
-    graph.add_sink("sink")
+    graph.add_sink("sink", collect=True)
     graph.connect("src", "agg", Partitioning.HASH)
     graph.connect("agg", "sink", Partitioning.FORWARD)
-    job = StreamJob(graph).build()
+    job = StreamJob(graph,
+                    config=_config_with_backend(None,
+                                                state_backend)).build()
     job.enable_telemetry()
     produced: Dict[str, int] = {}
 
@@ -270,13 +299,15 @@ def _autoscale_crash_mid_subscale(seed: int) -> ChaosSetup:
                       oracle={"agg": produced}, expectations=[expect])
 
 
-def _crash_during_transfer(seed: int) -> ChaosSetup:
+def _crash_during_transfer(
+        seed: int, state_backend: Optional[str] = None) -> ChaosSetup:
     """Phase-triggered crash the instant the first key-group migration
     begins; recovery rolls the migration back, the retry completes it."""
     from ..core.drrs import DRRSController
 
     job, produced = _keyed_job(stop_at=14.0,
-                               state_bytes_per_group=8e6)
+                               state_bytes_per_group=8e6,
+                               state_backend=state_backend)
     job.enable_telemetry()
     checkpoints = CheckpointCoordinator(job, interval=1.0)
     checkpoints.start()
@@ -298,10 +329,12 @@ def _crash_during_transfer(seed: int) -> ChaosSetup:
                       oracle={"agg": produced}, expectations=[expect])
 
 
-def _lossy_window_then_crash(seed: int, kind: str) -> ChaosSetup:
+def _lossy_window_then_crash(
+        seed: int, kind: str,
+        state_backend: Optional[str] = None) -> ChaosSetup:
     """Drop or duplicate a window of records, then crash: recovery from
     a pre-window checkpoint plus replay restores exactly-once."""
-    job, produced = _keyed_job(stop_at=12.0)
+    job, produced = _keyed_job(stop_at=12.0, state_backend=state_backend)
     checkpoints = CheckpointCoordinator(job, interval=1.0)
     checkpoints.start()
     recovery = RecoveryManager(job, restart_seconds=0.5).install()
@@ -329,14 +362,16 @@ def _lossy_window_then_crash(seed: int, kind: str) -> ChaosSetup:
                       oracle={"agg": produced}, expectations=[expect])
 
 
-def _stall_and_rollback(seed: int) -> ChaosSetup:
+def _stall_and_rollback(
+        seed: int, state_backend: Optional[str] = None) -> ChaosSetup:
     """Transfers stall mid-migration; a watchdog aborts the scale, the
     rollback restores the pre-subscale world and the retry finishes.
     No recovery at all — exactly-once must survive on rollback alone."""
     from ..core.drrs import DRRSController
 
     job, produced = _keyed_job(stop_at=14.0,
-                               state_bytes_per_group=8e6)
+                               state_bytes_per_group=8e6,
+                               state_backend=state_backend)
     job.enable_telemetry()
     controller = DRRSController(job)
     holder = _rescale_at(job, controller, "agg", 6.0, 4)
@@ -356,10 +391,11 @@ def _stall_and_rollback(seed: int) -> ChaosSetup:
                       expectations=[expect])
 
 
-def _delay_blip(seed: int) -> ChaosSetup:
+def _delay_blip(seed: int,
+                state_backend: Optional[str] = None) -> ChaosSetup:
     """Records re-ordered by a delay window: no loss, no duplication —
     exactly-once must hold with no recovery at all."""
-    job, produced = _keyed_job(stop_at=10.0)
+    job, produced = _keyed_job(stop_at=10.0, state_backend=state_backend)
     injector = FaultInjector(job, seed=seed)
     injector.add(DelayRecords("src", "agg", duration=1.0, hold=0.8,
                               probability=0.5, at=4.0))
@@ -367,10 +403,11 @@ def _delay_blip(seed: int) -> ChaosSetup:
                       horizon=20.0, oracle={"agg": produced})
 
 
-def _double_fault(seed: int) -> ChaosSetup:
+def _double_fault(seed: int,
+                  state_backend: Optional[str] = None) -> ChaosSetup:
     """A second crash strikes while the first restore is still running;
     the half-done restore is abandoned and recovery restarts cleanly."""
-    job, produced = _keyed_job(stop_at=12.0)
+    job, produced = _keyed_job(stop_at=12.0, state_backend=state_backend)
     checkpoints = CheckpointCoordinator(job, interval=1.0)
     checkpoints.start()
     recovery = RecoveryManager(job, restart_seconds=1.5).install()
@@ -384,6 +421,140 @@ def _double_fault(seed: int) -> ChaosSetup:
             problems.append(
                 f"expected a double recovery, saw "
                 f"{len(recovery.recoveries)}")
+        return problems
+
+    return ChaosSetup(job=job, injector=injector, keyed_ops=["agg"],
+                      horizon=35.0, recovery=recovery,
+                      oracle={"agg": produced}, expectations=[expect])
+
+
+def _crash_large_state(seed: int,
+                       state_backend: Optional[str] = None) -> ChaosSetup:
+    """Recovery-time tier: crash a job with *large* keyed state.
+
+    Defaults to the changelog backend.  The expectation measures the
+    checkpoint barrier-path cost and the recovery-restore duration from
+    telemetry spans, and — when running under changelog — runs a dict
+    twin of the same seed and asserts the two headline claims:
+
+    * barrier-path (``checkpoint.sync``) cost is ~constant in state size
+      (the dict twin's grows with the state; changelog's is the manifest),
+    * recovery completes in ≤ 50 % of the dict backend's recovery time
+      (local recovery: materialized base durable + local, only the delta
+      tail is replayed).
+    """
+    backend = state_backend or "changelog"
+    job, produced = _keyed_job(stop_at=12.0,
+                               state_bytes_per_group=48e6,
+                               state_backend=backend)
+    job.enable_telemetry()
+    checkpoints = CheckpointCoordinator(job, interval=1.0)
+    checkpoints.start()
+    recovery = RecoveryManager(job, restart_seconds=0.5).install()
+    injector = FaultInjector(job, recovery=recovery, seed=seed)
+    # The crash lands only after the first (anchoring, whole-state)
+    # segment upload is durable — no checkpoint may complete before its
+    # whole delta chain is, so an earlier crash would find nothing to
+    # restore from under the changelog backend.
+    injector.add(CrashInstance("agg", 0, at=10.0))
+
+    def _measure(measured_job):
+        tracer = measured_job.telemetry.tracer
+        syncs = [span.duration for span in tracer.closed_spans(
+            category="checkpoint", name="checkpoint.sync")]
+        restores = [span.duration for span in tracer.closed_spans(
+            category="recovery", name="recovery.restore")]
+        return (max(syncs) if syncs else 0.0,
+                max(restores) if restores else 0.0)
+
+    def expect(setup) -> List[str]:
+        problems: List[str] = []
+        if not recovery.recoveries:
+            problems.append("crash caused no recovery")
+            return problems
+        max_sync, restore_time = _measure(job)
+        setup.measurements.update({
+            "state_backend": backend,
+            "max_checkpoint_sync_seconds": max_sync,
+            "recovery_restore_seconds": restore_time,
+        })
+        if backend != "changelog":
+            return problems
+        # Dict twin, same seed: the baseline the claims are made against.
+        twin = _crash_large_state(seed, state_backend="dict")
+        twin.injector.arm()
+        twin.job.run(until=twin.horizon)
+        dict_sync, dict_restore = _measure(twin.job)
+        setup.measurements.update({
+            "dict_max_checkpoint_sync_seconds": dict_sync,
+            "dict_recovery_restore_seconds": dict_restore,
+        })
+        # Barrier-path cost ~constant: the changelog manifest is tiny and
+        # independent of the 48 MB/group state the dict twin serializes.
+        if dict_sync > 0 and max_sync > 0.1 * dict_sync:
+            problems.append(
+                f"changelog barrier sync {max_sync:.6f}s is not ~constant "
+                f"(dict twin paid {dict_sync:.6f}s)")
+        if dict_restore <= 0:
+            problems.append("dict twin recorded no recovery.restore span")
+        elif restore_time > 0.5 * dict_restore:
+            problems.append(
+                f"changelog recovery {restore_time:.3f}s exceeds 50% of "
+                f"the dict backend's {dict_restore:.3f}s")
+        return problems
+
+    return ChaosSetup(job=job, injector=injector, keyed_ops=["agg"],
+                      horizon=40.0, recovery=recovery,
+                      oracle={"agg": produced}, expectations=[expect])
+
+
+def _checkpoint_upload_stall(
+        seed: int, state_backend: Optional[str] = None) -> ChaosSetup:
+    """Recovery-time tier: async uploads stall, then a crash lands.
+
+    Defaults to the changelog backend.  A checkpoint whose delta-segment
+    uploads are stalled must not complete — and a crash during the stall
+    must recover from the *older* checkpoint whose chain is durable,
+    never from the one with segments still in flight.  Under the dict
+    backend the stall is a no-op (nothing uploads asynchronously) and the
+    newest checkpoint is used; both runs must pass the invariants.
+    """
+    backend = state_backend or "changelog"
+    job, produced = _keyed_job(stop_at=12.0,
+                               state_bytes_per_group=8e6,
+                               state_backend=backend)
+    job.enable_telemetry()
+    checkpoints = CheckpointCoordinator(job, interval=1.0)
+    checkpoints.start()
+    recovery = RecoveryManager(job, restart_seconds=0.5).install()
+    injector = FaultInjector(job, recovery=recovery, seed=seed)
+    injector.add(StallUploads("agg", extra_seconds=4.0, duration=2.5,
+                              at=4.5))
+    injector.add(CrashInstance("agg", 1, at=6.0))
+
+    def expect(setup) -> List[str]:
+        problems: List[str] = []
+        if not recovery.recoveries:
+            problems.append("crash caused no recovery")
+            return problems
+        when, cid = recovery.recoveries[0]
+        triggered_before = [c for t, c in checkpoints.triggered
+                            if t < when]
+        completed_ids = {c for _t, c in checkpoints.completed}
+        setup.measurements.update({
+            "state_backend": backend,
+            "restored_checkpoint": cid,
+            "triggered_before_crash": len(triggered_before),
+            "completed_total": len(completed_ids),
+        })
+        if backend == "changelog":
+            newest_triggered = max(triggered_before, default=0)
+            if cid >= newest_triggered:
+                problems.append(
+                    f"recovery used checkpoint #{cid} whose uploads were "
+                    f"stalled (newest triggered before the crash was "
+                    f"#{newest_triggered}) — delta-chain completeness "
+                    "was not enforced")
         return problems
 
     return ChaosSetup(job=job, injector=injector, keyed_ops=["agg"],
@@ -408,12 +579,14 @@ CHAOS_SCENARIOS: Dict[str, ChaosScenario] = {
             "phase-triggered crash at the first state transfer"),
         ChaosScenario(
             "drop-then-crash",
-            lambda seed: _lossy_window_then_crash(seed, "drop"),
+            lambda seed, state_backend=None: _lossy_window_then_crash(
+                seed, "drop", state_backend=state_backend),
             "lose a window of records on the wire, then crash; replay "
             "repairs the loss"),
         ChaosScenario(
             "duplicate-then-crash",
-            lambda seed: _lossy_window_then_crash(seed, "duplicate"),
+            lambda seed, state_backend=None: _lossy_window_then_crash(
+                seed, "duplicate", state_backend=state_backend),
             "deliver a window of records twice, then crash; rollback "
             "undoes the double count"),
         ChaosScenario(
@@ -428,6 +601,17 @@ CHAOS_SCENARIOS: Dict[str, ChaosScenario] = {
             "double-fault", _double_fault,
             "second crash lands mid-restore; recovery restarts from "
             "scratch"),
+        ChaosScenario(
+            "crash-large-state", _crash_large_state,
+            "crash with large keyed state (changelog default): barrier "
+            "sync must stay ~constant and recovery must finish in <=50% "
+            "of the dict backend's time (measured against a same-seed "
+            "dict twin)"),
+        ChaosScenario(
+            "checkpoint-upload-stall", _checkpoint_upload_stall,
+            "async changelog uploads stall, then a crash: recovery must "
+            "use the older checkpoint whose delta chain is durable, "
+            "never the one with segments in flight"),
     ]
 }
 

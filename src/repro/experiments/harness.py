@@ -55,6 +55,10 @@ class ExperimentConfig:
     max_batch_size: Optional[int] = None
     #: Kernel scheduler override ("heap"/"calendar"); None = engine default.
     scheduler: Optional[str] = None
+    #: Keyed-state backend override ("dict"/"changelog"); None = engine
+    #: default.  Like the other knobs, ignored when an explicit
+    #: ``job_config`` is given.
+    state_backend: Optional[str] = None
     label: str = ""
     #: Opt-in structured tracing: when True the job's telemetry subsystem
     #: is enabled before warm-up and exposed on the result.  Off by default
@@ -90,6 +94,13 @@ class ExperimentConfig:
             raise ValueError(
                 f"unknown scheduler: {self.scheduler!r} "
                 f"(expected one of: {', '.join(JobConfig.SCHEDULERS)} "
+                "— or None for the engine default)")
+        if (self.state_backend is not None
+                and self.state_backend not in JobConfig.STATE_BACKENDS):
+            raise ValueError(
+                f"unknown state_backend: {self.state_backend!r} "
+                f"(expected one of: "
+                f"{', '.join(JobConfig.STATE_BACKENDS)} "
                 "— or None for the engine default)")
         if self.shards is not None and (
                 not isinstance(self.shards, int)
@@ -261,7 +272,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     job_config = config.job_config
     if job_config is None and (config.record_plane is not None
                                or config.max_batch_size is not None
-                               or config.scheduler is not None):
+                               or config.scheduler is not None
+                               or config.state_backend is not None):
         overrides = {}
         if config.record_plane is not None:
             overrides["record_plane"] = config.record_plane
@@ -269,6 +281,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             overrides["max_batch_size"] = config.max_batch_size
         if config.scheduler is not None:
             overrides["scheduler"] = config.scheduler
+        if config.state_backend is not None:
+            overrides["state_backend"] = config.state_backend
         job_config = JobConfig(**overrides)
 
     effective_shards = config.shards

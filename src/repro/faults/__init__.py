@@ -9,10 +9,13 @@ made scenarios live in :mod:`repro.experiments.chaos_bank`; run them with
 
 from .chaos import ChaosHarness, ChaosReport, ChaosScenario, ChaosSetup
 from .injector import (CrashInstance, CrashNode, DelayRecords, DropRecords,
-                       DuplicateRecords, FaultInjector, StallTransfers)
+                       DuplicateRecords, FaultInjector, StallTransfers,
+                       StallUploads)
 from .invariants import (WatermarkMonitor, check_all,
+                         check_backend_equivalence,
                          check_exactly_once_state,
-                         check_routing_consistency, check_unique_ownership)
+                         check_routing_consistency, check_unique_ownership,
+                         semantic_trace)
 
 __all__ = [
     "FaultInjector",
@@ -22,13 +25,16 @@ __all__ = [
     "DuplicateRecords",
     "DelayRecords",
     "StallTransfers",
+    "StallUploads",
     "ChaosHarness",
     "ChaosReport",
     "ChaosScenario",
     "ChaosSetup",
     "WatermarkMonitor",
     "check_all",
+    "check_backend_equivalence",
     "check_exactly_once_state",
     "check_routing_consistency",
     "check_unique_ownership",
+    "semantic_trace",
 ]

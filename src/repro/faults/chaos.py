@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from .invariants import WatermarkMonitor, check_all
+from .invariants import WatermarkMonitor, check_all, semantic_trace
 
 __all__ = ["ChaosScenario", "ChaosSetup", "ChaosReport", "ChaosHarness"]
 
@@ -47,14 +47,22 @@ class ChaosSetup:
     expectations: List[Callable] = field(default_factory=list)
     #: Interval for the watermark monitor (0 disables it).
     watermark_interval: float = 0.25
+    #: Scenario-specific measurements; expectations may populate this and
+    #: the harness copies it into the report (JSON-serialisable values).
+    measurements: Dict = field(default_factory=dict)
 
 
 @dataclass
 class ChaosScenario:
-    """A named builder: ``build(seed) -> ChaosSetup``."""
+    """A named builder: ``build(seed, state_backend=None) -> ChaosSetup``.
+
+    ``state_backend`` selects the keyed-state backend ("dict" or
+    "changelog"; None keeps the scenario's own default) — every scenario
+    must pass the same invariants under either, and the semantic traces
+    must be identical (backend equivalence)."""
 
     name: str
-    build: Callable[[int], ChaosSetup]
+    build: Callable[..., ChaosSetup]
     description: str = ""
 
 
@@ -66,6 +74,9 @@ class ChaosReport:
     seed: int
     passed: bool
     horizon: float
+    #: Keyed-state backend the run used ("dict"/"changelog") — recorded
+    #: so seeded-report diffs cannot silently compare across backends.
+    state_backend: str = "dict"
     #: ``(time, kind, detail)`` per fired fault / closed window.
     faults: List = field(default_factory=list)
     #: Faults that fired but could not take effect.
@@ -74,6 +85,12 @@ class ChaosReport:
     recoveries: List = field(default_factory=list)
     violations: List[str] = field(default_factory=list)
     kernel_events: int = 0
+    #: Timing-free run outcome (:func:`~.invariants.semantic_trace`) —
+    #: what the CI two-backend matrix diffs byte-for-byte.
+    semantic_trace: Optional[Dict] = None
+    #: Scenario-specific measurements (e.g. crash-large-state's
+    #: recovery-time comparison), JSON-serialisable.
+    measurements: Dict = field(default_factory=dict)
 
     def to_dict(self) -> Dict:
         return {
@@ -81,16 +98,20 @@ class ChaosReport:
             "seed": self.seed,
             "passed": self.passed,
             "horizon": self.horizon,
+            "state_backend": self.state_backend,
             "faults": [list(entry) for entry in self.faults],
             "fault_errors": [list(entry) for entry in self.fault_errors],
             "recoveries": [list(entry) for entry in self.recoveries],
             "violations": list(self.violations),
             "kernel_events": self.kernel_events,
+            "semantic_trace": self.semantic_trace,
+            "measurements": dict(self.measurements),
         }
 
     def summary(self) -> str:
         verdict = "PASS" if self.passed else "FAIL"
-        lines = [f"[{verdict}] {self.scenario} (seed={self.seed}): "
+        lines = [f"[{verdict}] {self.scenario} (seed={self.seed}, "
+                 f"backend={self.state_backend}): "
                  f"{len(self.faults)} fault events, "
                  f"{len(self.recoveries)} recoveries, "
                  f"{len(self.violations)} violations"]
@@ -102,14 +123,23 @@ class ChaosReport:
 
 
 class ChaosHarness:
-    """Runs one scenario at one seed and judges the outcome."""
+    """Runs one scenario at one seed and judges the outcome.
 
-    def __init__(self, scenario: ChaosScenario, seed: int = 0):
+    ``state_backend`` (None / "dict" / "changelog") is forwarded to the
+    scenario builder; None keeps the scenario's default."""
+
+    def __init__(self, scenario: ChaosScenario, seed: int = 0,
+                 state_backend: Optional[str] = None):
         self.scenario = scenario
         self.seed = seed
+        self.state_backend = state_backend
 
     def run(self) -> ChaosReport:
-        setup = self.scenario.build(self.seed)
+        if self.state_backend is None:
+            setup = self.scenario.build(self.seed)
+        else:
+            setup = self.scenario.build(self.seed,
+                                        state_backend=self.state_backend)
         job = setup.job
         setup.injector.arm()
         monitor: Optional[WatermarkMonitor] = None
@@ -137,9 +167,12 @@ class ChaosHarness:
             seed=self.seed,
             passed=not violations,
             horizon=setup.horizon,
+            state_backend=getattr(job.config, "state_backend", "dict"),
             faults=list(setup.injector.injected),
             fault_errors=list(setup.injector.errors),
             recoveries=recoveries,
             violations=violations,
             kernel_events=job.sim.events_processed,
+            semantic_trace=semantic_trace(job, setup.keyed_ops),
+            measurements=dict(setup.measurements),
         )

@@ -42,6 +42,12 @@ spec                   effect
                        ``extra_seconds`` longer while the window is open,
                        holding their NIC slot (models a slow/overloaded
                        host during migration)
+:class:`StallUploads`  asynchronous changelog-segment checkpoint uploads
+                       of one operator take ``extra_seconds`` longer
+                       while the window is open — the checkpoint cannot
+                       complete until its delta chain is durable (models
+                       a slow/overloaded DFS; no-op for the dict backend,
+                       which has no async uploads)
 =====================  ====================================================
 
 Dropping or duplicating records violates exactly-once *by design*; chaos
@@ -65,6 +71,7 @@ __all__ = [
     "DuplicateRecords",
     "DelayRecords",
     "StallTransfers",
+    "StallUploads",
 ]
 
 
@@ -179,6 +186,27 @@ class StallTransfers:
 
     def apply(self, injector: "FaultInjector") -> None:
         injector.open_stall_window(self)
+
+
+@dataclass
+class StallUploads:
+    """Changelog checkpoint uploads of ``op`` stall while the window is
+    open, delaying delta-chain completeness (and hence checkpoint
+    completion); the barrier path is untouched.  No effect under the dict
+    backend, which uploads nothing asynchronously."""
+
+    op: str
+    extra_seconds: float
+    duration: float
+    at: Optional[float] = None
+    phase: Optional[str] = None
+
+    def describe(self) -> str:
+        return (f"stall +{self.extra_seconds}s on checkpoint uploads of "
+                f"{self.op} for {self.duration}s")
+
+    def apply(self, injector: "FaultInjector") -> None:
+        injector.open_upload_stall_window(self)
 
 
 class FaultInjector:
@@ -403,5 +431,31 @@ class FaultInjector:
             self.injected.append(
                 (self.sim.now, "WindowClosed",
                  f"stall window on {fault.op}: {hit[0]} transfers"))
+
+        self.sim.call_in(fault.duration, close)
+
+    def open_upload_stall_window(self, fault) -> None:
+        """Stretch async checkpoint uploads of ``fault.op`` while open."""
+        job = self.job
+        deadline = self.sim.now + fault.duration
+        previous = job.checkpoint_upload_hook
+        hit = [0]
+
+        def hook(instance, segment):
+            extra = previous(instance, segment) if previous else 0.0
+            if (instance.spec.name == fault.op
+                    and self.sim.now <= deadline):
+                hit[0] += 1
+                return (extra or 0.0) + fault.extra_seconds
+            return extra
+
+        job.checkpoint_upload_hook = hook
+
+        def close():
+            if job.checkpoint_upload_hook is hook:
+                job.checkpoint_upload_hook = previous
+            self.injected.append(
+                (self.sim.now, "WindowClosed",
+                 f"upload-stall window on {fault.op}: {hit[0]} uploads"))
 
         self.sim.call_in(fault.duration, close)

@@ -20,12 +20,20 @@ retries, replay and in-flight data to drain first):
    (:class:`WatermarkMonitor`; it samples, so only use it in chaos runs
    where bit-identity with unmonitored runs does not matter).
 
+5. **Backend equivalence** — a run's outcome must not depend on the
+   keyed-state backend: the dict and changelog backends must produce
+   identical *semantic traces* (final keyed state, per-key final sink
+   values, final watermarks — everything except timing, which legitimately
+   differs because changelog checkpoints cost a constant on the barrier
+   path) (:func:`semantic_trace` / :func:`check_backend_equivalence`).
+
 Each check returns a list of human-readable violation strings — empty
 means the invariant holds.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, List, Optional
 
 from ..engine.graph import Partitioning
@@ -36,6 +44,8 @@ __all__ = [
     "check_unique_ownership",
     "check_routing_consistency",
     "check_all",
+    "semantic_trace",
+    "check_backend_equivalence",
     "WatermarkMonitor",
 ]
 
@@ -137,6 +147,80 @@ def check_all(job, op_name: str,
     violations += check_routing_consistency(job, op_name)
     if oracle is not None:
         violations += check_exactly_once_state(job, op_name, oracle)
+    return violations
+
+
+def semantic_trace(job, keyed_ops: Optional[List[str]] = None) -> Dict:
+    """The timing-free outcome of a quiesced run, for cross-run diffing.
+
+    Captures, per keyed operator, the merged final state (sorted
+    ``(key_group, sorted entries)``) with a stable digest; per sink
+    instance, the *last* collected value for each key (at-least-once
+    replay may duplicate intermediate emissions, but per-key updates are
+    FIFO-ordered so the final one is the converged value); and each
+    instance's final watermark.  Two runs of the same scenario under
+    different state backends must produce identical traces —
+    event *timing* differs (that is the point of the changelog backend),
+    the semantics must not.
+    """
+    if keyed_ops is None:
+        keyed_ops = sorted(op for op in job.assignments)
+    state: Dict[str, list] = {}
+    for op_name in keyed_ops:
+        groups = []
+        for instance in job.instances(op_name):
+            for group in instance.state.groups():
+                if group.status not in _HOLDS_BYTES:
+                    continue
+                entries = sorted((repr(k), repr(v))
+                                 for k, v in group.entries.items())
+                groups.append((group.key_group, entries))
+        state[op_name] = sorted(groups)
+    sinks: Dict[str, list] = {}
+    for instance in job.all_instances():
+        collected = getattr(instance.logic, "collected", None)
+        if collected is None:
+            continue
+        last: Dict = {}
+        for record in collected:
+            key = getattr(record, "key", None)
+            value = getattr(record, "value", record)
+            last[repr(key)] = repr(value)
+        sinks[instance.name] = sorted(last.items())
+    watermarks = {}
+    for instance in job.all_instances():
+        wm = instance.current_watermark
+        watermarks[instance.name] = repr(wm)
+    trace = {"state": state, "sinks": sinks, "watermarks": watermarks}
+    canonical = "|".join((repr(sorted(state.items())),
+                          repr(sorted(sinks.items())),
+                          repr(sorted(watermarks.items()))))
+    trace["digest"] = hashlib.sha256(canonical.encode()).hexdigest()
+    return trace
+
+
+def check_backend_equivalence(trace_a: Dict, trace_b: Dict,
+                              label_a: str = "dict",
+                              label_b: str = "changelog") -> List[str]:
+    """Diff two semantic traces; violations name what diverged where."""
+    violations: List[str] = []
+    for section in ("state", "sinks", "watermarks"):
+        part_a, part_b = trace_a.get(section, {}), trace_b.get(section, {})
+        for name in sorted(set(part_a) | set(part_b)):
+            if name not in part_a:
+                violations.append(
+                    f"{section}[{name}]: present under {label_b} only")
+            elif name not in part_b:
+                violations.append(
+                    f"{section}[{name}]: present under {label_a} only")
+            elif part_a[name] != part_b[name]:
+                violations.append(
+                    f"{section}[{name}]: {label_a} and {label_b} "
+                    f"disagree ({part_a[name]!r} != {part_b[name]!r})")
+    if not violations and trace_a.get("digest") != trace_b.get("digest"):
+        violations.append(
+            f"trace digests differ ({label_a}={trace_a.get('digest')}, "
+            f"{label_b}={trace_b.get('digest')}) with no section diff")
     return violations
 
 

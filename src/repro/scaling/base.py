@@ -467,6 +467,14 @@ class ScalingController:
         entries = group.entries
         size = group.size_bytes
         sub_present = group.sub_groups_present
+        # Changelog-tail fast path: when the source backend holds a durable
+        # base covering this group's current version, the destination can
+        # fetch the base from durable storage and only the changelog tail
+        # moves over the wire.  Queried before the extraction bumps the
+        # group's version (which would invalidate the durable base).
+        tail_fn = getattr(src.state, "changelog_tail_bytes", None)
+        tail_bytes = tail_fn(key_group) if tail_fn is not None else None
+        wire_bytes = size if tail_bytes is None else min(size, tail_bytes)
         group.entries = {}
         group.size_bytes = 0.0
         group.status = StateStatus.MIGRATED_OUT
@@ -489,7 +497,7 @@ class ScalingController:
         try:
             yield ticket
             yield self.sim.timeout(cost_model.transfer_seconds(
-                size, link.bandwidth, link.latency))
+                wire_bytes, link.bandwidth, link.latency))
             hook = self.job.transfer_fault_hook
             if hook is not None:
                 extra = hook(src, dst, key_group)

@@ -51,6 +51,7 @@ import multiprocessing
 import os
 import time
 import traceback
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -64,6 +65,7 @@ __all__ = [
     "run_sharded",
     "run_single_reference",
     "supports_sharding",
+    "ShardingSupport",
     "collect_run_view",
     "plan_for_job",
 ]
@@ -73,22 +75,62 @@ __all__ = [
 DEFAULT_QUANTUM = 0.25
 
 
+@dataclass(frozen=True)
+class ShardingSupport:
+    """Truthy verdict of :func:`supports_sharding`.
+
+    Truthiness preserves the old boolean contract; when sharding is
+    unsupported, :attr:`reason` carries a stable machine-readable code
+    (``"controller"``, ``"telemetry"``, ``"faults"``,
+    ``"changelog-async-uploads"``, ``"no-fork"``) and :attr:`detail` a
+    human sentence — both end up in the fallback warning and in
+    experiment reports.
+    """
+
+    supported: bool
+    reason: Optional[str] = None
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.supported
+
+
 def supports_sharding(config=None, *, controller=None,
-                      telemetry=False, faults=False) -> bool:
-    """True when a run may use the multi-process kernel.
+                      telemetry=False, faults=False) -> ShardingSupport:
+    """Whether a run may use the multi-process kernel.
 
     Any feature that needs one global event loop (scaling controllers,
-    telemetry probes, fault injection) degrades to single-process, as do
+    telemetry probes, fault injection, the changelog backend's
+    asynchronous segment uploads) degrades to single-process, as do
     platforms without the ``fork`` start method (the workers inherit the
-    workload factory by forking).
+    workload factory by forking).  Returns a truthy/falsy
+    :class:`ShardingSupport`; falsy verdicts name the degradation.
     """
-    if controller is not None or telemetry or faults:
-        return False
+    if controller is not None:
+        return ShardingSupport(
+            False, "controller",
+            "scaling controllers mutate the global assignment and need "
+            "one event loop")
+    if telemetry:
+        return ShardingSupport(
+            False, "telemetry",
+            "telemetry probes sample across the whole job")
+    if faults:
+        return ShardingSupport(
+            False, "faults",
+            "fault injection coordinates crashes and recovery globally")
+    if getattr(config, "state_backend", "dict") == "changelog":
+        return ShardingSupport(
+            False, "changelog-async-uploads",
+            "the changelog backend spawns asynchronous segment-upload "
+            "processes and upload listeners on the global loop")
     try:
         multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
-        return False
-    return True
+        return ShardingSupport(
+            False, "no-fork",
+            "workers inherit the workload factory by forking")
+    return ShardingSupport(True)
 
 
 # ---------------------------------------------------------------------------
@@ -813,7 +855,13 @@ def run_sharded(workload_factory, *, until: float, shards: int,
     """
     from ..engine.runtime import JobConfig
     config = job_config or JobConfig()
-    if shards <= 1 or not supports_sharding(config):
+    support = supports_sharding(config)
+    if shards <= 1 or not support:
+        if shards > 1 and not support:
+            warnings.warn(
+                f"sharded run degraded to single-process "
+                f"[{support.reason}]: {support.detail}",
+                RuntimeWarning, stacklevel=2)
         return run_single_reference(
             workload_factory, until=until, job_config=config,
             collect_sinks=collect_sinks, trace_watermarks=trace_watermarks)

@@ -5,13 +5,20 @@ import random
 
 import pytest
 
-from repro.engine import (CheckpointCoordinator, JobGraph, KeyedReduceLogic,
-                          OperatorSpec, Partitioning, Record, StreamJob)
+from repro.engine import (CheckpointCoordinator, JobConfig, JobGraph,
+                          KeyedReduceLogic, OperatorSpec, Partitioning,
+                          Record, StreamJob)
 from repro.engine.recovery import RecoveryError, RecoveryManager
 from repro.faults.invariants import check_all
 
 
-def counting_job(stop_at=30.0, parallelism=2):
+@pytest.fixture(params=["dict", "changelog"])
+def backend(request):
+    """Every edge case must hold under both keyed-state backends."""
+    return request.param
+
+
+def counting_job(stop_at=30.0, parallelism=2, state_backend="dict"):
     graph = JobGraph("edges", num_key_groups=8)
     graph.add_source("src", parallelism=1)
     graph.add_operator(OperatorSpec(
@@ -22,7 +29,9 @@ def counting_job(stop_at=30.0, parallelism=2):
     graph.add_sink("sink")
     graph.connect("src", "agg", Partitioning.HASH)
     graph.connect("agg", "sink", Partitioning.FORWARD)
-    job = StreamJob(graph).build()
+    job = StreamJob(
+        graph,
+        config=JobConfig(state_backend=state_backend)).build()
     produced = {}
 
     def gen():
@@ -48,8 +57,8 @@ def total_state(job):
     return totals
 
 
-def test_failure_before_first_checkpoint_completes():
-    job, _produced = counting_job()
+def test_failure_before_first_checkpoint_completes(backend):
+    job, _produced = counting_job(state_backend=backend)
     coordinator = CheckpointCoordinator(job, interval=5.0)
     coordinator.start()
     manager = RecoveryManager(job).install()
@@ -60,8 +69,8 @@ def test_failure_before_first_checkpoint_completes():
         manager.fail_and_recover("too early")
 
 
-def test_double_failure_during_restore():
-    job, produced = counting_job()
+def test_double_failure_during_restore(backend):
+    job, produced = counting_job(state_backend=backend)
     coordinator = CheckpointCoordinator(job, interval=2.0)
     coordinator.start()
     # Long restart window so the second failure reliably lands inside
@@ -78,10 +87,10 @@ def test_double_failure_during_restore():
     assert total_state(job) == produced
 
 
-def test_failure_right_after_rescale_completes():
+def test_failure_right_after_rescale_completes(backend):
     from repro.core.drrs import DRRSController
 
-    job, produced = counting_job()
+    job, produced = counting_job(state_backend=backend)
     coordinator = CheckpointCoordinator(job, interval=2.0)
     coordinator.start()
     manager = RecoveryManager(job, restart_seconds=0.5,
@@ -107,12 +116,12 @@ def test_failure_right_after_rescale_completes():
 
 
 @pytest.mark.parametrize("seed", [0, 1, 2, 3])
-def test_seeded_crash_time_property(seed):
+def test_seeded_crash_time_property(seed, backend):
     """Whatever instant the crash lands at, recovery restores
     exactly-once keyed state and unique key-group ownership."""
     rng = random.Random(seed)
     crash_at = rng.uniform(3.0, 14.0)
-    job, produced = counting_job(stop_at=16.0)
+    job, produced = counting_job(stop_at=16.0, state_backend=backend)
     coordinator = CheckpointCoordinator(job, interval=1.5)
     coordinator.start()
     manager = RecoveryManager(job, restart_seconds=0.3).install()

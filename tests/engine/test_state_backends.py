@@ -1,0 +1,208 @@
+"""Unit tests for the pluggable keyed-state backends.
+
+Covers the changelog backend's core mechanics in isolation: delta
+logging and segment cuts, periodic materialization, the bounded-log
+truncation trigger, chain replay at restore, rejection of incomplete
+chains, the constant barrier-path manifest, version-break whole-group
+images, and the migration tail fast path.
+"""
+
+import pytest
+
+from repro.engine import (ChangelogChainError, ChangelogStateBackend,
+                          DictStateBackend, JobConfig, StateBackend)
+from repro.engine.runtime import StreamJob
+from repro.engine.state import KeyedStateBackend
+
+
+def make_backend(**kwargs):
+    kwargs.setdefault("materialize_interval", 10_000)
+    return ChangelogStateBackend(bytes_per_entry=100.0, **kwargs)
+
+
+class TestBackendSelection:
+    def test_dict_is_the_default_and_the_legacy_alias(self):
+        assert KeyedStateBackend is DictStateBackend
+        assert DictStateBackend.name == "dict"
+        assert not DictStateBackend.is_incremental
+        assert ChangelogStateBackend.name == "changelog"
+        assert ChangelogStateBackend.is_incremental
+
+    def test_config_validates_backend(self):
+        with pytest.raises(ValueError, match="state_backend"):
+            JobConfig(state_backend="rocksdb")
+
+    def test_job_factory_builds_configured_backend(self):
+        from repro.engine import (JobGraph, KeyedReduceLogic,
+                                  OperatorSpec, Partitioning)
+        graph = JobGraph("backends", num_key_groups=4)
+        graph.add_source("src", parallelism=1)
+        graph.add_operator(OperatorSpec(
+            "agg",
+            logic_factory=lambda: KeyedReduceLogic(
+                lambda old, r: (old or 0) + r.count),
+            parallelism=1, keyed=True))
+        graph.add_sink("sink")
+        graph.connect("src", "agg", Partitioning.HASH)
+        graph.connect("agg", "sink", Partitioning.FORWARD)
+        job = StreamJob(graph, config=JobConfig(
+            state_backend="changelog",
+            changelog_materialize_interval=123)).build()
+        state = job.instances("agg")[0].state
+        assert isinstance(state, ChangelogStateBackend)
+        assert state.materialize_interval == 123
+
+    def test_abstract_backend_is_not_usable(self):
+        with pytest.raises(NotImplementedError):
+            StateBackend().put(0, "k", 1)
+
+
+class TestSegmentsAndSync:
+    def test_first_cut_is_a_full_anchor(self):
+        backend = make_backend()
+        backend.put(0, "a", 1)
+        backend.put(1, "b", 2)
+        seg = backend.cut_segment(1)
+        assert seg.full_base and seg.anchors_chain
+        assert {kg: payload[0] for kg, payload in seg.groups.items()} == \
+            {0: "full", 1: "full"}
+
+    def test_subsequent_cuts_carry_deltas_only(self):
+        backend = make_backend()
+        backend.put(0, "a", 1)
+        backend.cut_segment(1)
+        backend.put(0, "a", 2)
+        backend.put(0, "c", 3)
+        seg = backend.cut_segment(2)
+        assert not seg.full_base
+        kind, ops = seg.groups[0]
+        assert kind == "deltas" and len(ops) == 2
+        # Two ops at 100 bytes/entry — not the whole group.
+        assert seg.delta_bytes == pytest.approx(200.0)
+
+    def test_barrier_path_cost_is_constant_in_state_size(self):
+        backend = make_backend()
+        for i in range(50):
+            backend.put(i % 4, f"k{i}", i)
+        backend.add_bytes(0, 1e9)
+        assert backend.checkpoint_sync_bytes() == \
+            ChangelogStateBackend.MANIFEST_BYTES
+        # The dict backend pays the full state on the barrier path.
+        dict_backend = DictStateBackend()
+        dict_backend.put(0, "a", 1)
+        dict_backend.add_bytes(0, 1e9)
+        assert dict_backend.checkpoint_sync_bytes() == \
+            dict_backend.total_bytes()
+
+    def test_version_break_forces_whole_group_image(self):
+        backend = make_backend()
+        backend.put(0, "a", 1)
+        backend.cut_segment(1)
+        # Bulk mutation bypassing the logging surface (what a scaling
+        # controller's install does) bumps the version.
+        group = backend.require_group(0)
+        group.entries = {"x": 99}
+        group.bump_version()
+        seg = backend.cut_segment(2)
+        assert seg.groups[0][0] == "full"
+        assert seg.groups[0][1] == {"x": 99}
+
+
+class TestMaterialization:
+    def test_interval_triggers_materialization(self):
+        backend = make_backend(materialize_interval=10)
+        for i in range(25):
+            backend.put(0, f"k{i}", i)
+        assert backend.materializations == 2
+        assert backend.log_length(0) < 10
+
+    def test_materialize_clears_logs_and_re_anchors(self):
+        backend = make_backend()
+        backend.put(0, "a", 1)
+        backend.cut_segment(1)
+        backend.put(0, "b", 2)
+        backend.materialize()
+        assert backend.log_length(0) == 0
+        seg = backend.cut_segment(2)
+        assert seg.groups[0][0] == "full"
+        assert seg.full_base
+
+    def test_oversized_log_truncates_via_materialization(self):
+        backend = make_backend(max_log_entries=16)
+        for i in range(200):
+            backend.put(0, "hot", i)
+        assert backend.materializations >= 1
+        assert backend.log_length(0) <= 16 + 1
+
+
+class TestChainReplay:
+    def test_delta_replay_rebuilds_exact_entries(self):
+        backend = make_backend()
+        backend.put(0, "a", 1)
+        backend.put(1, "b", 2)
+        chain = [backend.cut_segment(1)]
+        backend.put(0, "a", 10)
+        backend.delete(1, "b")
+        backend.put(2, "c", 3)
+        chain.append(backend.cut_segment(2))
+        backend.put(2, "c", 30)
+        chain.append(backend.cut_segment(3))
+        restored = ChangelogStateBackend.replay_chain(chain)
+        entries = {kg: dict(g.entries) for kg, g in restored.items()}
+        assert entries == {0: {"a": 10}, 1: {}, 2: {"c": 30}}
+
+    def test_drop_marker_removes_group(self):
+        backend = make_backend()
+        backend.put(0, "a", 1)
+        backend.put(1, "b", 2)
+        chain = [backend.cut_segment(1)]
+        backend.drop_group(1)
+        chain.append(backend.cut_segment(2))
+        restored = ChangelogStateBackend.replay_chain(chain)
+        assert set(restored) == {0}
+
+    def test_unanchored_chain_is_rejected(self):
+        backend = make_backend()
+        backend.put(0, "a", 1)
+        backend.cut_segment(1)
+        backend.put(0, "a", 2)
+        tail_only = [backend.cut_segment(2)]
+        with pytest.raises(ChangelogChainError, match="anchor"):
+            ChangelogStateBackend.replay_chain(tail_only)
+
+    def test_gapped_chain_is_rejected(self):
+        backend = make_backend()
+        backend.put(0, "a", 1)
+        first = backend.cut_segment(1)
+        backend.put(0, "a", 2)
+        backend.cut_segment(2)  # the missing middle
+        backend.put(0, "a", 3)
+        third = backend.cut_segment(3)
+        with pytest.raises(ChangelogChainError, match="gap"):
+            ChangelogStateBackend.replay_chain([first, third])
+
+    def test_empty_chain_is_rejected(self):
+        with pytest.raises(ChangelogChainError, match="empty"):
+            ChangelogStateBackend.replay_chain([])
+
+
+class TestMigrationFastPath:
+    def test_tail_bytes_require_a_durable_base(self):
+        backend = make_backend()
+        backend.put(0, "a", 1)
+        # No cut yet: nothing durable covers the group.
+        assert backend.changelog_tail_bytes(0) is None
+        backend.cut_segment(1)
+        backend.put(0, "b", 2)
+        tail = backend.changelog_tail_bytes(0)
+        assert tail is not None
+        assert tail < backend.require_group(0).size_bytes + 1
+
+    def test_bulk_mutation_invalidates_the_tail(self):
+        backend = make_backend()
+        backend.put(0, "a", 1)
+        backend.cut_segment(1)
+        group = backend.require_group(0)
+        group.entries = {"x": 1}
+        group.bump_version()
+        assert backend.changelog_tail_bytes(0) is None

@@ -197,6 +197,35 @@ class TestConfigPlumbing:
         assert not supports_sharding(JobConfig(), telemetry=True)
         assert not supports_sharding(JobConfig(), faults=True)
 
+    def test_supports_sharding_reasons_are_machine_readable(self):
+        verdict = supports_sharding(JobConfig())
+        assert verdict.supported and verdict.reason is None
+        cases = {
+            "controller": dict(controller=object()),
+            "telemetry": dict(telemetry=True),
+            "faults": dict(faults=True),
+        }
+        for reason, kwargs in cases.items():
+            verdict = supports_sharding(JobConfig(), **kwargs)
+            assert not verdict.supported
+            assert verdict.reason == reason
+            assert verdict.detail
+
+    def test_supports_sharding_rejects_changelog_backend(self):
+        verdict = supports_sharding(
+            JobConfig(state_backend="changelog"))
+        assert not verdict
+        assert verdict.reason == "changelog-async-uploads"
+
+    def test_degraded_run_warns_once_with_reason(self):
+        with pytest.warns(RuntimeWarning,
+                          match=r"\[changelog-async-uploads\]"):
+            result = run_sharded(
+                NexmarkQ7, until=2.0, shards=2,
+                job_config=JobConfig(state_backend="changelog"))
+        assert result.shards == 1
+        assert result.plan is None
+
     def test_shards_one_falls_back_to_single_process(self):
         result = run_sharded(NexmarkQ7, until=2.0, shards=1,
                              job_config=JobConfig())
