@@ -249,7 +249,9 @@ def _cmd_bench(args) -> int:
 
     written = write_bench_files(output_dir=args.output, scale=args.scale,
                                 which=args.only, best_of=args.best_of,
-                                stat=args.stat, shards=args.shards)
+                                stat=args.stat, shards=args.shards,
+                                transport=args.transport,
+                                inbox=args.inbox)
     docs = {}
     for name, path in written.items():
         with open(path) as f:
@@ -295,7 +297,8 @@ def _cmd_bench(args) -> int:
         for suite in per_suite:
             rewritten = write_bench_files(
                 output_dir=args.output, scale=args.scale, which=suite,
-                best_of=args.best_of, stat=args.stat, shards=args.shards)
+                best_of=args.best_of, stat=args.stat, shards=args.shards,
+                transport=args.transport, inbox=args.inbox)
             with open(rewritten[suite]) as f:
                 docs[suite] = json.load(f)
         all_rows, per_suite = _compare_all()
@@ -351,15 +354,21 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_shard_check(args) -> int:
+    import dataclasses
     import os
 
     from .engine.runtime import JobConfig
     from .experiments.scenarios import QUICK, make_workload
-    from .perf.benches import SHARD_INBOX_CAPACITY, SHARD_WEIGHTS
+    from .perf.benches import SHARD_WEIGHTS
     from .simulation.sharded import run_sharded, run_single_reference
 
+    # The shard flow-control window applies to both runs (same-config
+    # comparison): JobConfig owns the default / REPRO_SHARD_INBOX contract.
     config = JobConfig(shards=args.shards,
-                       inbox_capacity=SHARD_INBOX_CAPACITY)
+                       shard_inbox_capacity=args.inbox,
+                       shard_transport=args.transport)
+    config = dataclasses.replace(
+        config, inbox_capacity=config.shard_inbox_capacity)
 
     def factory():
         return make_workload(args.workload, QUICK)
@@ -390,6 +399,7 @@ def _cmd_shard_check(args) -> int:
                 json.dump(_sink_dump(result), f, indent=1, sort_keys=True)
                 f.write("\n")
 
+    sync = sharded.sync_totals()
     report = {
         "workload": args.workload,
         "until": args.until,
@@ -404,7 +414,18 @@ def _cmd_shard_check(args) -> int:
         "results_equal": equal,
         "sink_records_single": single.total_sink_input(),
         "sink_records_sharded": sharded.total_sink_input(),
+        "transport": sharded.transport,
+        "inbox_capacity": config.shard_inbox_capacity,
+        "sync": sync,
+        "sync_per_shard": [
+            {k: v for k, v in s.items() if k != "blocked_intervals"}
+            for s in sharded.sync_per_shard],
     }
+    if args.trace_out:
+        from .telemetry.shards import write_shard_sync_trace
+        write_shard_sync_trace(sharded.sync_per_shard, args.trace_out,
+                               transport=sharded.transport)
+        report["trace"] = args.trace_out
     if args.json:
         print(json.dumps(report, indent=1, sort_keys=True))
     else:
@@ -416,6 +437,19 @@ def _cmd_shard_check(args) -> int:
               f"{'OK' if sharded.backpressure_safe else 'FAILED'}, "
               f"sink records {single.total_sink_input()} vs "
               f"{sharded.total_sink_input()}")
+        if sync:
+            print(f"  transport={sync.get('transport')} "
+                  f"nulls sent/suppressed="
+                  f"{sync.get('null_sent', 0)}/"
+                  f"{sync.get('null_suppressed', 0)} "
+                  f"grant rounds={sync.get('grant_rounds', 0)} "
+                  f"frames={sync.get('frames_sent', 0)} "
+                  f"cut bytes={sync.get('bytes_shipped', 0)} "
+                  f"spills={sync.get('spills', 0)}")
+            print(f"  blocked waits={sync.get('blocked_waits', 0)} "
+                  f"({sync.get('blocked_wait_s', 0.0):.3f}s), "
+                  f"writer-full waits "
+                  f"{sync.get('writer_full_wait_s', 0.0):.3f}s")
         for line in sharded.backpressure_detail:
             print(f"  {line}", file=sys.stderr)
     ok = equal and sharded.backpressure_safe
@@ -605,6 +639,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "sharded kernel plus its single-process "
                               "reference and records plan, equivalence, "
                               "and both speedups")
+    p_bench.add_argument("--transport", default=None,
+                         choices=("auto", "shm", "pipe"),
+                         help="cut-edge data plane for sharded e2e runs "
+                              "(default: REPRO_SHARD_TRANSPORT or auto; "
+                              "auto picks shared memory)")
+    p_bench.add_argument("--inbox", type=_positive_int, default=None,
+                         metavar="N",
+                         help="shard flow-control window "
+                              "(default: REPRO_SHARD_INBOX or 512)")
 
     p_shard = sub.add_parser(
         "shard-check",
@@ -626,6 +669,19 @@ def build_parser() -> argparse.ArgumentParser:
                               "byte-for-byte diffing in CI")
     p_shard.add_argument("--json", action="store_true",
                          help="print the comparison report as JSON")
+    p_shard.add_argument("--transport", default=None,
+                         choices=("auto", "shm", "pipe"),
+                         help="cut-edge data plane (default: "
+                              "REPRO_SHARD_TRANSPORT or auto; auto picks "
+                              "shared memory)")
+    p_shard.add_argument("--inbox", type=_positive_int, default=None,
+                         metavar="N",
+                         help="shard flow-control window "
+                              "(default: REPRO_SHARD_INBOX or 512)")
+    p_shard.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="write the per-shard sync-protocol blocked "
+                              "waits as a Chrome trace (open in "
+                              "ui.perfetto.dev)")
 
     from .experiments.chaos_bank import CHAOS_SCENARIOS
     p_chaos = sub.add_parser(

@@ -538,6 +538,47 @@ class OperatorInstance:
                                 yield ev
                                 continue
                         yield from router.emit(out)
+                elif (element.__class__ is Watermark
+                        and self.element_interceptor is None):
+                    # Inlined copy of _handle_watermark (which stays the
+                    # canonical version, used via handle_element for
+                    # injected elements): with fan-in n only ~1/n arrivals
+                    # advance the min over input channels, and the
+                    # non-advancing majority then needs no generator frame,
+                    # no dispatch isinstance chain and no yield machinery —
+                    # on watermark-heavy graphs they are the second most
+                    # common element after records.
+                    ts = element.timestamp
+                    if ts > channel.watermark:
+                        channel.watermark = ts
+                    channels = self.input_channels
+                    new_wm = channels[0].watermark
+                    for ch in channels:
+                        if ch.watermark < new_wm:
+                            new_wm = ch.watermark
+                    if new_wm > self.current_watermark:
+                        self.current_watermark = new_wm
+                        outputs = self.logic.on_watermark(new_wm, self)
+                        router = self.router
+                        if outputs:
+                            yield from router.emit_burst(outputs)
+                        # Inlined router.emit broadcast: sends accepted
+                        # immediately hand back the shared pre-succeeded
+                        # event, which _resume would continue past
+                        # synchronously anyway — only genuinely pending
+                        # (backpressured) sends need the yield.
+                        wm_out = Watermark(timestamp=new_wm)
+                        done = sim.done
+                        for edge in router.edges:
+                            for ch in edge.channels:
+                                if self.abandon_work:
+                                    break
+                                ev = ch.send(wm_out)
+                                if ev is not done:
+                                    yield ev
+                            else:
+                                continue
+                            break
                 else:
                     yield from self.handle_element(channel, element)
             finally:

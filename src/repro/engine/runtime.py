@@ -86,14 +86,33 @@ class JobConfig:
     #: run-to-completion workloads — controllers / telemetry / fault
     #: injection degrade to single-process execution.
     shards: Optional[int] = None
+    #: Inbox (credit) capacity used for cut-crossing channels when a run is
+    #: sharded: the benches and ``repro shard-check`` substitute this for
+    #: ``inbox_capacity`` on *both* the sharded run and its single-process
+    #: equivalence reference, so the credit-ledger certification has
+    #: headroom on cut edges (the paper-tier Twitch session->loyalty cut
+    #: needs > the default 32).  ``None`` reads ``REPRO_SHARD_INBOX``
+    #: (defaulting to 512).  Per-cut-edge overrides can be attached to the
+    #: partition plan (:meth:`~..engine.routing.ShardPlan.annotate_cuts`).
+    shard_inbox_capacity: Optional[int] = None
+    #: Cut-edge transport for the sharded kernel: ``"shm"`` (shared-memory
+    #: columnar frame rings with demand-driven null messages and adaptive
+    #: quantum), ``"pipe"`` (the legacy pickle-over-pipe protocol with a
+    #: fixed quantum and eager nulls), or ``"auto"`` (shm when the
+    #: platform supports it, else pipe).  ``None`` reads
+    #: ``REPRO_SHARD_TRANSPORT`` (defaulting to ``"auto"``).
+    shard_transport: Optional[str] = None
 
     #: Legal record planes / schedulers / batch-size bounds (also enforced
     #: by :class:`~..experiments.harness.ExperimentConfig` overrides).
     RECORD_PLANES = ("batched", "single", "columnar")
     SCHEDULERS = ("heap", "calendar")
     STATE_BACKENDS = ("dict", "changelog")
+    SHARD_TRANSPORTS = ("auto", "shm", "pipe")
     MAX_BATCH_SIZE_LIMIT = 4096
     MAX_SHARDS = 64
+    MAX_SHARD_INBOX = 1 << 20
+    DEFAULT_SHARD_INBOX = 512
 
     def __post_init__(self):
         if self.record_plane not in self.RECORD_PLANES:
@@ -140,6 +159,30 @@ class JobConfig:
             raise ValueError(
                 f"shards must be an integer in [1, {self.MAX_SHARDS}], "
                 f"got {self.shards!r}")
+        if self.shard_inbox_capacity is None:
+            raw = os.environ.get("REPRO_SHARD_INBOX",
+                                 str(self.DEFAULT_SHARD_INBOX))
+            try:
+                self.shard_inbox_capacity = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_SHARD_INBOX must be an integer, "
+                    f"got {raw!r}") from None
+        if (not isinstance(self.shard_inbox_capacity, int)
+                or isinstance(self.shard_inbox_capacity, bool)
+                or not 1 <= self.shard_inbox_capacity
+                <= self.MAX_SHARD_INBOX):
+            raise ValueError(
+                "shard_inbox_capacity must be an integer in "
+                f"[1, {self.MAX_SHARD_INBOX}], "
+                f"got {self.shard_inbox_capacity!r}")
+        if self.shard_transport is None:
+            self.shard_transport = os.environ.get(
+                "REPRO_SHARD_TRANSPORT", "auto")
+        if self.shard_transport not in self.SHARD_TRANSPORTS:
+            raise ValueError(
+                f"unknown shard_transport: {self.shard_transport!r} "
+                f"(expected one of: {', '.join(self.SHARD_TRANSPORTS)})")
 
 
 @dataclass

@@ -35,20 +35,14 @@ __all__ = ["BENCH_SCALES", "run_kernel_bench", "run_e2e_bench",
 #: the multi-scenario e2e results shape of the ``paper`` scale.  /4 added
 #: ``shards`` / ``workers`` / ``inbox_capacity`` to ``config`` and the
 #: sharded e2e result shape (``sharded`` sub-document per scenario when
-#: the run uses more than one worker process).
-BENCH_SCHEMA = "repro-bench/4"
-
-#: Flow-control window used for multi-shard e2e runs (both the sharded
-#: run and its single-process reference — the comparison is always
-#: same-config).  The engine default (32) is smaller than
-#: ``max_batch_size`` (64), so under paper-scale load every exchange runs
-#: saturated in flow control; that both caps single-process batch
-#: formation and makes credit timing depend on receiver consumption,
-#: which a conservatively-synchronized shard cannot reproduce (the cut
-#: channel's ledger would flag the run).  A window sized to several full
-#: batches keeps the certification clean across all three paper-tier
-#: workloads and is itself mildly faster single-process.
-SHARD_INBOX_CAPACITY = 512
+#: the run uses more than one worker process).  /5 added
+#: ``shard_transport`` to ``config`` and the sync-protocol counters to
+#: the ``sharded`` sub-document (``transport``, null messages sent /
+#: suppressed, grant rounds, cut-edge bytes shipped, per-shard blocked
+#: waits, spills, fallbacks, adaptive-quantum trajectory).  The former
+#: ``SHARD_INBOX_CAPACITY`` module constant is now
+#: ``JobConfig.shard_inbox_capacity`` (env ``REPRO_SHARD_INBOX``).
+BENCH_SCHEMA = "repro-bench/5"
 
 #: Host-cost operator weights for the shard partitioner, calibrated by
 #: profiling the paper-tier runs (per-record session-window work makes
@@ -219,8 +213,9 @@ def bench_channel_throughput(elements: int) -> Dict[str, float]:
 _E2E_LABELS = {"q7": "nexmark-q7", "q8": "nexmark-q8", "twitch": "twitch"}
 
 
-def bench_e2e_scenario(kind: str, until: float,
-                       shards: int = 1) -> Dict[str, float]:
+def bench_e2e_scenario(kind: str, until: float, shards: int = 1,
+                       transport: Optional[str] = None,
+                       inbox: Optional[int] = None) -> Dict[str, float]:
     """One end-to-end workload (quick scenario config, no scaling).
 
     ``records_per_sec`` counts *physical* source records (batch entities ×
@@ -229,15 +224,19 @@ def bench_e2e_scenario(kind: str, until: float,
     With ``shards > 1`` the scenario runs on the sharded multi-process
     kernel *and* its single-process reference at the same (shard-profile)
     config, and the result additionally records the partition plan, the
-    flow-control certification, result equivalence, and two speedups:
-    ``measured`` (wall-clock, meaningful only with >= ``shards`` free
-    cores) and ``critical_path`` (single CPU over bottleneck-shard CPU —
-    the hardware-independent pipeline number).
+    flow-control certification, result equivalence, the cut-edge
+    sync-protocol counters, and two speedups: ``measured`` (wall-clock,
+    meaningful only with >= ``shards`` free cores) and ``critical_path``
+    (single CPU over bottleneck-shard CPU — the hardware-independent
+    pipeline number).  ``transport`` picks the cut-edge data plane
+    ("auto"/"shm"/"pipe"; None = engine default) and ``inbox`` overrides
+    the shard flow-control window
+    (:attr:`~repro.engine.runtime.JobConfig.shard_inbox_capacity`).
     """
     from ..experiments.scenarios import QUICK, make_workload
 
     if shards > 1:
-        return _bench_e2e_sharded(kind, until, shards)
+        return _bench_e2e_sharded(kind, until, shards, transport, inbox)
 
     workload = make_workload(kind, QUICK)
     t0 = time.perf_counter()
@@ -261,13 +260,25 @@ def bench_e2e_scenario(kind: str, until: float,
     }
 
 
-def _bench_e2e_sharded(kind: str, until: float, shards: int) -> Dict:
+def _bench_e2e_sharded(kind: str, until: float, shards: int,
+                       transport: Optional[str] = None,
+                       inbox: Optional[int] = None) -> Dict:
     """Sharded e2e scenario: sharded run + same-config single reference."""
+    import dataclasses
+
     from ..engine.runtime import JobConfig
     from ..experiments.scenarios import QUICK, make_workload
     from ..simulation.sharded import run_sharded, run_single_reference
 
-    config = JobConfig(shards=shards, inbox_capacity=SHARD_INBOX_CAPACITY)
+    # The shard flow-control window (shard_inbox_capacity, default 512:
+    # the engine default of 32 is smaller than one max-size batch, so at
+    # paper scale flow control would engage constantly and the credit
+    # ledger could not certify the run) becomes the engine-wide inbox for
+    # *both* runs — the comparison is always same-config.
+    config = JobConfig(shards=shards, shard_inbox_capacity=inbox,
+                       shard_transport=transport)
+    config = dataclasses.replace(config,
+                                 inbox_capacity=config.shard_inbox_capacity)
 
     def factory():
         return make_workload(kind, QUICK)
@@ -308,6 +319,14 @@ def _bench_e2e_sharded(kind: str, until: float, shards: int) -> Dict:
             "speedup_measured": (single.wall_s / run_s) if run_s else 0.0,
             "speedup_critical_path": (single_cpu / bottleneck)
             if bottleneck else 0.0,
+            "transport": sharded.transport,
+            "inbox_capacity": config.shard_inbox_capacity,
+            "sync": sharded.sync_totals(),
+            # Per-shard counters minus the raw blocked-wait intervals
+            # (those feed the Chrome-trace exporter, not the bench doc).
+            "sync_per_shard": [
+                {k: v for k, v in s.items() if k != "blocked_intervals"}
+                for s in sharded.sync_per_shard],
         },
     }
 
@@ -343,20 +362,23 @@ def _reduce_runs(fn, args, best_of: int, stat: str) -> Dict[str, float]:
     raise ValueError(f"unknown stat: {stat!r} (want 'best' or 'median')")
 
 
-def _engine_config(shards: int = 1) -> Dict[str, Any]:
+def _engine_config(shards: int = 1, transport: Optional[str] = None,
+                   inbox: Optional[int] = None) -> Dict[str, Any]:
     """The engine settings the e2e scenarios run under."""
     from ..engine.columnar import HAVE_NUMPY
     from ..engine.runtime import JobConfig
 
-    config = JobConfig()
-    inbox = (SHARD_INBOX_CAPACITY if shards > 1
-             else config.inbox_capacity)
+    config = JobConfig(shard_inbox_capacity=inbox,
+                       shard_transport=transport)
+    effective_inbox = (config.shard_inbox_capacity if shards > 1
+                       else config.inbox_capacity)
     return {"record_plane": config.record_plane,
             "max_batch_size": config.max_batch_size,
             "scheduler": config.scheduler,
             "columnar_available": HAVE_NUMPY,
             "shards": shards,
-            "inbox_capacity": inbox}
+            "inbox_capacity": effective_inbox,
+            "shard_transport": config.shard_transport}
 
 
 def _check_scale(scale: str) -> Dict[str, Any]:
@@ -396,23 +418,26 @@ def run_kernel_bench(scale: str = "full", best_of: int = BEST_OF,
 
 
 def run_e2e_bench(scale: str = "full", best_of: int = BEST_OF,
-                  stat: str = "best", shards: int = 1) -> Dict[str, Any]:
+                  stat: str = "best", shards: int = 1,
+                  transport: Optional[str] = None,
+                  inbox: Optional[int] = None) -> Dict[str, Any]:
     params = _check_scale(scale)
     scenarios = params["e2e"]
+    args_tail = (shards, transport, inbox)
     if len(scenarios) == 1:
         # Single-scenario scales keep the flat /2 results shape so the
         # recorded trajectory and committed baselines stay comparable.
         kind, until = scenarios[0]
         results: Dict[str, Any] = _reduce_runs(
-            bench_e2e_scenario, (kind, until, shards), best_of, stat)
+            bench_e2e_scenario, (kind, until) + args_tail, best_of, stat)
     else:
         results = {kind: _reduce_runs(bench_e2e_scenario,
-                                      (kind, until, shards),
+                                      (kind, until) + args_tail,
                                       best_of, stat)
                    for kind, until in scenarios}
     return {"schema": BENCH_SCHEMA, "bench": "e2e", "scale": scale,
             "best_of": best_of, "stat": stat,
-            "config": _engine_config(shards),
+            "config": _engine_config(shards, transport, inbox),
             "results": results}
 
 
@@ -444,12 +469,16 @@ def write_bench_files(output_dir: str = ".",
                       which: Optional[str] = None,
                       best_of: Optional[int] = None,
                       stat: str = "best",
-                      shards: int = 1) -> Dict[str, str]:
+                      shards: int = 1,
+                      transport: Optional[str] = None,
+                      inbox: Optional[int] = None) -> Dict[str, str]:
     """Run the suites and write ``BENCH_kernel.json`` / ``BENCH_e2e.json``.
 
     Returns {bench name: written path}.  ``which`` limits to one suite.
     ``shards`` > 1 runs the e2e scenarios on the sharded kernel (the
-    kernel microbenches are single-process by construction).
+    kernel microbenches are single-process by construction);
+    ``transport`` / ``inbox`` select the cut-edge data plane and
+    flow-control window for those runs (None = engine defaults).
     """
     import json
     import os
@@ -466,7 +495,8 @@ def write_bench_files(output_dir: str = ".",
         if which is not None and name != which:
             continue
         if name == "e2e":
-            doc = runner(scale, best_of=best_of, stat=stat, shards=shards)
+            doc = runner(scale, best_of=best_of, stat=stat, shards=shards,
+                         transport=transport, inbox=inbox)
         else:
             doc = runner(scale, best_of=best_of, stat=stat)
         _attach_baseline(doc)
@@ -577,7 +607,7 @@ def compare_bench_docs(current: Dict[str, Any], baseline: Dict[str, Any],
 
 #: Config keys whose mismatch makes a bench comparison apples-to-oranges.
 _CONFIG_COMPARE_KEYS = ("scheduler", "record_plane", "max_batch_size",
-                        "shards", "inbox_capacity")
+                        "shards", "inbox_capacity", "shard_transport")
 
 
 def config_mismatch_warnings(current: Dict[str, Any],

@@ -116,3 +116,117 @@ def test_harness_controller_run_ignores_shards():
 def test_supports_sharding_gate_matches_fallbacks():
     assert supports_sharding(_SHARD_CONFIG)
     assert not supports_sharding(_SHARD_CONFIG, telemetry=True)
+
+
+# ---------------------------------------------------------------------------
+# Transport matrix: the shm columnar data plane vs the pipe baseline
+# ---------------------------------------------------------------------------
+
+def _run_transport(workload_cls, transport, *, until, shards):
+    return run_sharded(
+        workload_cls, until=until, shards=shards,
+        job_config=_SHARD_CONFIG, collect_sinks=True,
+        trace_watermarks=True, transport=transport)
+
+
+@pytest.mark.parametrize("transport", ["pipe", "shm"])
+def test_transport_equivalent_to_single(transport):
+    single = run_single_reference(
+        NexmarkQ7, until=25.0, job_config=_SHARD_CONFIG,
+        collect_sinks=True, trace_watermarks=True)
+    multi = _run_transport(NexmarkQ7, transport, until=25.0, shards=2)
+    assert multi.transport == transport
+    _assert_equivalent(single, multi)
+    assert multi.view["sinks"] == single.view["sinks"]
+    assert multi.view["watermark_traces"] == single.view["watermark_traces"]
+
+
+def test_pipe_and_shm_agree_on_seeded_twitch():
+    """The ISSUE's equivalence bar: a seeded, chaos-free Twitch run is
+    byte-identical across transports (sinks, digests, watermarks)."""
+    pipe = _run_transport(TwitchWorkload, "pipe", until=15.0, shards=3)
+    shm = _run_transport(TwitchWorkload, "shm", until=15.0, shards=3)
+    assert pipe.backpressure_safe and shm.backpressure_safe
+    pv, sv = pipe.semantic_view(), shm.semantic_view()
+    assert set(pv) == set(sv)
+    for key in pv:
+        assert sv[key] == pv[key], f"semantic_view[{key!r}] diverged"
+    assert shm.view["sinks"] == pipe.view["sinks"]
+    assert shm.view["state_digests"] == pipe.view["state_digests"]
+    assert shm.view["watermark_traces"] == pipe.view["watermark_traces"]
+
+
+def test_sync_counters_present_and_directional():
+    """The shm protocol must demonstrably do *less* synchronization work
+    than the pipe baseline on the same run: fewer frames (adaptive
+    quantum merges rounds) and no more bare nulls than the pipe's
+    eager-null count."""
+    pipe = _run_transport(NexmarkQ7, "pipe", until=25.0, shards=2)
+    shm = _run_transport(NexmarkQ7, "shm", until=25.0, shards=2)
+    pt, st = pipe.sync_totals(), shm.sync_totals()
+    assert pt["transport"] == "pipe" and st["transport"] == "shm"
+    for totals in (pt, st):
+        assert totals["grant_rounds"] > 0
+        assert totals["frames_sent"] > 0
+        assert totals["msgs_sent"] > 0
+        assert totals["bytes_shipped"] > 0
+    # identical cut-edge message stream on both transports
+    assert st["msgs_sent"] == pt["msgs_sent"]
+    # adaptive quantum: strictly fewer synchronization rounds and frames
+    assert st["grant_rounds"] < pt["grant_rounds"]
+    assert st["frames_sent"] < pt["frames_sent"]
+    # demand-driven nulls never exceed the eager baseline
+    assert st["null_sent"] <= pt["null_sent"] + pt["null_suppressed"]
+    # per-shard breakdown matches the worker count
+    assert len(shm.sync_per_shard) == shm.shards
+    for sync in shm.sync_per_shard:
+        assert sync["transport"] == "shm"
+        assert sync["quantum_final"] >= sync["quantum_initial"]
+
+
+def test_auto_transport_resolves_to_shm():
+    multi = _run_transport(NexmarkQ7, None, until=10.0, shards=2)
+    assert multi.transport == "shm"
+    multi = run_sharded(
+        NexmarkQ7, until=10.0, shards=2,
+        job_config=JobConfig(inbox_capacity=256, shard_transport="pipe"),
+        collect_sinks=True)
+    assert multi.transport == "pipe"
+
+
+def test_oversized_frames_spill_through_the_pipe():
+    """A ring far smaller than one flush forces the spill path; results
+    must still be exact."""
+    single = run_single_reference(
+        NexmarkQ7, until=15.0, job_config=_SHARD_CONFIG,
+        collect_sinks=True, trace_watermarks=True)
+    multi = run_sharded(
+        NexmarkQ7, until=15.0, shards=2, job_config=_SHARD_CONFIG,
+        collect_sinks=True, trace_watermarks=True, transport="shm",
+        ring_bytes=4096)
+    assert multi.sync_totals()["spills"] > 0
+    _assert_equivalent(single, multi)
+
+
+def test_harness_shard_knobs_plumb_through():
+    """ExperimentConfig.shard_transport/shard_inbox_capacity reach the
+    sharded run and still reproduce the single-process figures."""
+
+    def config(shards, **kw):
+        return ExperimentConfig(
+            workload=NexmarkQ7(), warmup=5.0, post_duration=10.0,
+            shards=shards, **kw)
+
+    # the reference runs at the same effective config the shard knobs
+    # produce (shard_inbox_capacity becomes the engine-wide inbox)
+    ref = run_experiment(config(1, job_config=JobConfig(
+        inbox_capacity=256)))
+    shard = run_experiment(config(2, shard_transport="shm",
+                                  shard_inbox_capacity=256))
+    assert shard.source_records == ref.source_records
+    assert shard.sink_records == ref.sink_records
+    assert sorted(shard.latency_series) == sorted(ref.latency_series)
+    with pytest.raises(ValueError, match="shard_transport"):
+        ExperimentConfig(workload=NexmarkQ7(), shard_transport="telegraph")
+    with pytest.raises(ValueError, match="shard_inbox_capacity"):
+        ExperimentConfig(workload=NexmarkQ7(), shard_inbox_capacity=0)

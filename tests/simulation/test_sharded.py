@@ -232,3 +232,121 @@ class TestConfigPlumbing:
         assert result.shards == 1
         assert result.backpressure_safe
         assert result.plan is None
+
+    def test_jobconfig_shard_inbox_validation(self):
+        assert JobConfig().shard_inbox_capacity == 512
+        assert JobConfig(shard_inbox_capacity=64).shard_inbox_capacity == 64
+        for bad in (0, -1, True, "many",
+                    JobConfig.MAX_SHARD_INBOX + 1):
+            with pytest.raises(ValueError, match="shard_inbox_capacity"):
+                JobConfig(shard_inbox_capacity=bad)
+
+    def test_repro_shard_inbox_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_INBOX", "128")
+        assert JobConfig().shard_inbox_capacity == 128
+        # explicit beats env
+        assert JobConfig(
+            shard_inbox_capacity=256).shard_inbox_capacity == 256
+        monkeypatch.setenv("REPRO_SHARD_INBOX", "lots")
+        with pytest.raises(ValueError, match="REPRO_SHARD_INBOX"):
+            JobConfig()
+
+    def test_jobconfig_shard_transport_validation(self, monkeypatch):
+        assert JobConfig().shard_transport == "auto"
+        assert JobConfig(shard_transport="pipe").shard_transport == "pipe"
+        with pytest.raises(ValueError, match="shard_transport"):
+            JobConfig(shard_transport="carrier-pigeon")
+        monkeypatch.setenv("REPRO_SHARD_TRANSPORT", "shm")
+        assert JobConfig().shard_transport == "shm"
+        monkeypatch.setenv("REPRO_SHARD_TRANSPORT", "smoke-signal")
+        with pytest.raises(ValueError, match="shard_transport"):
+            JobConfig()
+
+
+class TestAdaptiveQuantum:
+    def test_widen_after_productive_streak(self):
+        aq = sharded._AdaptiveQuantum(0.25, growth_limit=32.0)
+        assert aq.value == 0.25
+        aq.productive()
+        assert aq.value == 0.25  # one productive round is not enough
+        aq.productive()
+        assert aq.value == 0.5
+        for _ in range(40):
+            aq.productive()
+        assert aq.value == 0.25 * 32.0  # capped at the growth limit
+
+    def test_shrink_on_blocked_wait(self):
+        aq = sharded._AdaptiveQuantum(0.25, growth_limit=32.0)
+        for _ in range(8):
+            aq.productive()
+        widened = aq.value
+        assert widened > 0.25
+        aq.blocked()
+        assert aq.value == widened / 2
+        for _ in range(20):
+            aq.blocked()
+        assert aq.value == 0.25  # never below the initial quantum
+
+    def test_blocked_resets_the_streak(self):
+        aq = sharded._AdaptiveQuantum(0.25)
+        aq.productive()
+        aq.blocked()
+        aq.productive()
+        assert aq.value == 0.25  # streak was broken, no widening yet
+        assert aq.widenings == 0 and aq.shrinks == 0
+
+    def test_growth_limit_one_pins_the_quantum(self):
+        aq = sharded._AdaptiveQuantum(0.25, growth_limit=1.0)
+        for _ in range(10):
+            aq.productive()
+        assert aq.value == 0.25
+        assert aq.widenings == 0
+
+
+class TestPerEdgeCapacities:
+    def test_replay_honours_per_channel_capacity(self):
+        # channel 1 would exhaust a window of 2 but survives with 4;
+        # channel 2 survives either way under its own window
+        debits = {1: [(0.1, 3)], 2: [(0.1, 1)]}
+        ok, problems, flagged = _replay_credits(
+            debits, {}, capacity={1: 2, 2: 8},
+            edge_of={1: "a->b", 2: "b->c"})
+        assert not ok and flagged == {"a->b"}
+        assert "capacity 2" in problems[0]
+        ok, problems, flagged = _replay_credits(
+            debits, {}, capacity={1: 4, 2: 8},
+            edge_of={1: "a->b", 2: "b->c"})
+        assert ok, problems
+
+    def test_annotate_cuts_attaches_hints(self):
+        g, lat = _chain_graph("s", "a", "b", "c", latencies=[0.1] * 3)
+        plan = partition_graph(g, 3, lat)
+        assert len(plan.cut_edges) >= 2
+        first, second = plan.cut_edges[0], plan.cut_edges[1]
+        plan.annotate_cuts(ring_bytes={first: 1 << 16},
+                           inbox_overrides={second: 64,
+                                            "not->cut": 99})
+        assert plan.cut_hints[first] == {"ring_bytes": 1 << 16}
+        assert plan.cut_hints[second] == {"inbox_capacity": 64}
+        assert "not->cut" not in plan.cut_hints
+
+    def test_annotate_cuts_int_applies_to_all(self):
+        g, lat = _chain_graph("s", "a", "b", latencies=[0.1] * 2)
+        plan = partition_graph(g, 3, lat)
+        plan.annotate_cuts(ring_bytes=4096)
+        for name in plan.cut_edges:
+            assert plan.cut_hints[name]["ring_bytes"] == 4096
+
+    def test_run_sharded_cut_inbox_reaches_plan_hints(self):
+        # A per-cut-edge window override must land in the recorded
+        # plan's cut_hints (the same dict the workers and the credit
+        # replay consume).
+        probe = NexmarkQ7().build(job_config=JobConfig())
+        cuts = plan_for_job(probe, 2).cut_edges
+        assert cuts
+        overrides = {cuts[0]: 1024}
+        result = run_sharded(NexmarkQ7, until=5.0, shards=2,
+                             job_config=JobConfig(inbox_capacity=256),
+                             cut_inbox=overrides)
+        assert result.backpressure_safe
+        assert result.plan.cut_hints[cuts[0]]["inbox_capacity"] == 1024
